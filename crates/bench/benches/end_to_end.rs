@@ -1,0 +1,35 @@
+//! End-to-end simulation throughput: cycles per second of the full
+//! monitoring system (app core + FADE + monitor core), per
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fade_system::{MonitoringSystem, SystemConfig};
+use fade_trace::bench;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(5_000));
+
+    let cases = [
+        ("fade_single_core", SystemConfig::fade_single_core()),
+        ("fade_two_core", SystemConfig::fade_two_core()),
+        ("unaccelerated", SystemConfig::unaccelerated_single_core()),
+    ];
+    for (name, cfg) in cases {
+        g.bench_function(format!("memleak_gcc_{name}"), |b| {
+            let profile = bench::by_name("gcc").unwrap();
+            let mut sys = MonitoringSystem::new(&profile, "MemLeak", &cfg);
+            sys.run_instrs(5_000); // warm
+            b.iter(|| {
+                black_box(sys.run_instrs(5_000));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Event-table lookup plus one filter-logic shot: the combinational
+//! heart of the Filter stage (Figure 7).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fade::filter_logic::evaluate_shot;
+use fade::OperandMeta;
+use fade_isa::event_ids;
+use fade_monitors::monitor_by_name;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_event_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_table");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(1024));
+
+    for name in ["addrcheck", "memleak", "atomcheck"] {
+        let program = monitor_by_name(name).unwrap().program();
+        g.bench_function(format!("lookup_and_shot_{name}"), |b| {
+            b.iter(|| {
+                for i in 0..1024u64 {
+                    let entry = program.table().entry(event_ids::LOAD).unwrap();
+                    let ops = OperandMeta {
+                        s1: i & 1,
+                        s2: 0,
+                        d: (i >> 1) & 1,
+                    };
+                    black_box(evaluate_shot(entry, &ops, program.invariants()));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_table);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Throughput of the filtering pipeline: events per second through
+//! `Fade::tick` for an all-filterable stream (the paper's peak rate of
+//! one event per cycle) and for a mixed stream with unfiltered events.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fade::{Fade, FadeConfig, FilterMode};
+use fade_isa::{event_ids, AppEvent, InstrEvent, Reg, VirtAddr};
+use fade_monitors::monitor_by_name;
+use fade_shadow::MetadataState;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn load_event(addr: u32, dest: u8) -> AppEvent {
+    let mut e = InstrEvent::new(event_ids::LOAD, VirtAddr::new(0x400));
+    e.app_addr = VirtAddr::new(addr);
+    e.dest = Reg::new(dest);
+    e.mem_size = 4;
+    AppEvent::Instr(e)
+}
+
+fn fresh(mode: FilterMode) -> (Fade, MetadataState) {
+    let mon = monitor_by_name("memleak").unwrap();
+    let program = mon.program();
+    let mut state = MetadataState::new(program.md_map());
+    mon.init_state(&mut state);
+    let mut cfg = FadeConfig::paper(mode);
+    cfg.tlb_miss_penalty = 0;
+    (Fade::new(cfg, program), state)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter_pipeline");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(32));
+
+    g.bench_function("filterable_batch_32", |b| {
+        b.iter_batched_ref(
+            || fresh(FilterMode::NonBlocking),
+            |(fade, state)| {
+                for i in 0..32u32 {
+                    fade.enqueue(load_event(0x1000_0000 + i * 4, 3)).unwrap();
+                }
+                let mut guard = 0;
+                while !fade.is_idle() && guard < 100_000 {
+                    black_box(fade.tick(state));
+                    guard += 1;
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("mixed_batch_32", |b| {
+        b.iter_batched_ref(
+            || {
+                let (fade, mut state) = fresh(FilterMode::NonBlocking);
+                // Every 4th word holds a pointer: 25% unfiltered.
+                for i in (0..32u32).step_by(4) {
+                    state.set_mem_meta(VirtAddr::new(0x1000_0000 + i * 4), 1);
+                }
+                (fade, state)
+            },
+            |(fade, state)| {
+                for i in 0..32u32 {
+                    fade.enqueue(load_event(0x1000_0000 + i * 4, 3)).unwrap();
+                }
+                let mut guard = 0;
+                while !fade.is_idle() && guard < 100_000 {
+                    black_box(fade.tick(state));
+                    while let Some(uf) = fade.pop_unfiltered() {
+                        fade.handler_completed(uf.token);
+                    }
+                    guard += 1;
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

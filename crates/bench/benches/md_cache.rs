@@ -1,0 +1,53 @@
+//! MD cache (tag array) access throughput: hit streams, miss streams,
+//! and the paper's 4 KB geometry vs larger configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fade::{TagCache, TagCacheConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_md_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md_cache");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(1024));
+
+    g.bench_function("hot_hits_4k", |b| {
+        let mut cache = TagCache::new(TagCacheConfig::md_cache());
+        for i in 0..64u64 {
+            cache.access(i * 64);
+        }
+        b.iter(|| {
+            for i in 0..1024u64 {
+                black_box(cache.access((i % 32) * 64));
+            }
+        })
+    });
+
+    g.bench_function("streaming_misses_4k", |b| {
+        let mut cache = TagCache::new(TagCacheConfig::md_cache());
+        let mut base = 0u64;
+        b.iter(|| {
+            for i in 0..1024u64 {
+                black_box(cache.access(base + i * 64));
+            }
+            base += 1024 * 64;
+        })
+    });
+
+    g.bench_function("l2_geometry_mixed", |b| {
+        let mut cache = TagCache::new(TagCacheConfig::l2());
+        let mut x = 0x9e3779b97f4a7c15u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                black_box(cache.access(x % (8 << 20)));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_md_cache);
+criterion_main!(benches);

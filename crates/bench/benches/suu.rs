@@ -1,0 +1,50 @@
+//! Stack-update unit throughput: frame metadata initialization for
+//! typical and large frames.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fade::{InvId, InvRf, StackUpdateUnit, TagCache, TagCacheConfig};
+use fade_isa::{StackUpdateEvent, StackUpdateKind, VirtAddr};
+use fade_shadow::{MetadataMap, MetadataState};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_suu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("suu");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    for &frame_len in &[96u32, 512, 4096] {
+        g.throughput(Throughput::Bytes(frame_len as u64));
+        g.bench_function(format!("frame_{frame_len}B"), |b| {
+            let mut inv = InvRf::new();
+            inv.write(InvId::new(0), 1);
+            inv.write(InvId::new(1), 0);
+            let ev = StackUpdateEvent {
+                base: VirtAddr::new(0xef00_0000),
+                len: frame_len,
+                kind: StackUpdateKind::Call,
+                tid: 0,
+            };
+            b.iter_batched_ref(
+                || {
+                    (
+                        StackUpdateUnit::new(),
+                        MetadataState::new(MetadataMap::per_word()),
+                        TagCache::new(TagCacheConfig::md_cache()),
+                    )
+                },
+                |(suu, state, cache)| {
+                    let map = state.map();
+                    black_box(suu.start(&ev, InvId::new(0), InvId::new(1), &inv, &map, state));
+                    while suu.busy() {
+                        suu.tick(cache);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_suu);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Synthetic-program generation throughput (records per second) for a
+//! single-threaded and a multithreaded benchmark profile.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fade_trace::{bench, SyntheticProgram};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tracegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracegen");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(10_000));
+
+    for name in ["gcc", "omnet", "water"] {
+        let profile = bench::by_name(name).unwrap();
+        g.bench_function(format!("records_{name}"), |b| {
+            let mut prog = SyntheticProgram::new(&profile, 7);
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    black_box(prog.next_record());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracegen);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Ablations of FADE's design choices (DESIGN.md section 4):
+//!
+//! 1. **Stack-Update Unit** (Section 4.2): with the SUU removed, stack
+//!    updates run as software handlers on the monitor core.
+//! 2. **Partial filtering** (Section 4.1): with the partial bit
+//!    cleared, every AtomCheck event takes the full handler.
+//! 3. **Non-blocking filtering** (Section 5): blocking baseline —
+//!    also in Figure 11(c); repeated here per benchmark.
+//! 4. **Multi-shot encoding** (Section 4.1): MemCheck re-encoded as
+//!    two-shot chains — same filtering, one extra cycle per chained
+//!    event.
+
+use fade::{EventTableEntry, FilterMode};
+use fade_bench::{measure_len, warmup_len, Table};
+use fade_isa::event_ids;
+use fade_monitors::monitor_by_name;
+use fade_system::{baseline_cycles, MonitoringSystem, SystemConfig};
+use fade_trace::bench;
+
+fn run_with_program(
+    monitor: &str,
+    workload: &str,
+    cfg: &SystemConfig,
+    edit: impl FnOnce(&mut fade::FadeProgram),
+) -> f64 {
+    let b = bench::by_name(workload).unwrap();
+    let mon = monitor_by_name(monitor).unwrap();
+    let mut program = mon.program();
+    edit(&mut program);
+    let mut sys = MonitoringSystem::with_program(&b, mon, program, cfg);
+    let warm = warmup_len();
+    let meas = measure_len();
+    sys.run_instrs(warm);
+    sys.start_measure();
+    sys.run_instrs(meas);
+    let base = baseline_cycles(&b, cfg.core, cfg.seed, warm, meas);
+    sys.finish(b.name, base).slowdown()
+}
+
+fn main() {
+    let cfg = SystemConfig::fade_single_core();
+
+    println!("Ablation 1: Stack-Update Unit (monitors that shadow the stack)");
+    let mut t = Table::new(["monitor/bench", "with SUU", "SUU disabled (software)"]);
+    for (monitor, workload) in [("MemCheck", "gcc"), ("MemLeak", "gcc"), ("MemLeak", "astar")] {
+        let with_suu = run_with_program(monitor, workload, &cfg, |_| {});
+        let without = run_with_program(monitor, workload, &cfg, |p| p.clear_suu());
+        t.row([
+            format!("{monitor}/{workload}"),
+            format!("{with_suu:.2}"),
+            format!("{without:.2}"),
+        ]);
+    }
+    t.print();
+
+    println!("\nAblation 2: partial filtering (AtomCheck)");
+    let mut t = Table::new(["bench", "partial filtering", "full handler always"]);
+    for workload in ["water", "ocean", "stream."] {
+        let with_partial = run_with_program("AtomCheck", workload, &cfg, |_| {});
+        let without = run_with_program("AtomCheck", workload, &cfg, |p| {
+            // Clear the partial bit: a passed check no longer selects
+            // the short handler, so every dispatch runs the long one.
+            for id in [event_ids::LOAD, event_ids::STORE] {
+                let e = *p.table().entry(id).expect("AtomCheck programs loads/stores");
+                let mut raw: EventTableEntry = e;
+                raw.partial = false;
+                // Without the partial bit a passing check would filter
+                // the event outright and lose the access-type update;
+                // force dispatch by making the check unsatisfiable.
+                raw.operands[0].inv_id = raw.operands[0].inv_id.map(|_| fade::InvId::new(31));
+                raw.operands[2].inv_id = raw.operands[2].inv_id.map(|_| fade::InvId::new(31));
+                p.set_entry(id, raw);
+                p.set_invariant(fade::InvId::new(31), 0xfe); // never matches
+            }
+        });
+        t.row([
+            workload.to_string(),
+            format!("{with_partial:.2}"),
+            format!("{without:.2}"),
+        ]);
+    }
+    t.print();
+
+    println!("\nAblation 3: non-blocking filtering (per benchmark, MemLeak)");
+    let mut t = Table::new(["bench", "non-blocking", "blocking"]);
+    for workload in ["astar", "gcc", "mcf", "omnet"] {
+        let nb = run_with_program("MemLeak", workload, &cfg, |_| {});
+        let blocking = run_with_program(
+            "MemLeak",
+            workload,
+            &cfg.with_mode(FilterMode::Blocking),
+            |_| {},
+        );
+        t.row([
+            workload.to_string(),
+            format!("{nb:.2}"),
+            format!("{blocking:.2}"),
+        ]);
+    }
+    t.print();
+
+    println!("\nAblation 4: single-shot vs multi-shot encoding (MemCheck)");
+    let mut t = Table::new(["bench", "single-shot", "two-shot chain"]);
+    for workload in ["gcc", "hmmer"] {
+        let single = run_with_program("MemCheck", workload, &cfg, |_| {});
+        let multi = {
+            let b = bench::by_name(workload).unwrap();
+            let mon = monitor_by_name("memcheck").unwrap();
+            let program = fade_monitors::MemCheck::new().program_multi_shot();
+            let mut sys = MonitoringSystem::with_program(&b, mon, program, &cfg);
+            let warm = warmup_len();
+            let meas = measure_len();
+            sys.run_instrs(warm);
+            sys.start_measure();
+            sys.run_instrs(meas);
+            let base = baseline_cycles(&b, cfg.core, cfg.seed, warm, meas);
+            sys.finish(b.name, base).slowdown()
+        };
+        t.row([
+            workload.to_string(),
+            format!("{single:.2}"),
+            format!("{multi:.2}"),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,62 @@
+//! Calibration diagnostic: per monitor × benchmark, print the raw
+//! quantities the paper's figures depend on, plus the accelerator's
+//! stall breakdown. Not a paper figure itself — a tuning aid.
+
+use fade_bench::{measure_len, warmup_len, Table};
+use fade_monitors::all_monitors;
+use fade_system::{run_experiment, SystemConfig};
+use fade_trace::bench;
+
+fn main() {
+    let warm = warmup_len();
+    let meas = measure_len();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only_monitor = args.first().cloned();
+
+    for mon in all_monitors() {
+        if let Some(m) = &only_monitor {
+            if !mon.name().eq_ignore_ascii_case(m) {
+                continue;
+            }
+        }
+        let suite = match mon.name() {
+            "AtomCheck" => bench::parallel_suite(),
+            "TaintCheck" => bench::taint_suite(),
+            _ => bench::spec_int_suite(),
+        };
+        println!("== {} ==", mon.name());
+        let mut t = Table::new([
+            "bench", "appIPC", "monIPC", "filt%", "sw-slow", "fade-slow", "ufq%", "drain%",
+            "suu%", "md%", "tlb%", "appblk%", "occ",
+        ]);
+        for b in &suite {
+            let f = run_experiment(b, mon.name(), &SystemConfig::fade_single_core(), warm, meas);
+            let u = run_experiment(
+                b,
+                mon.name(),
+                &SystemConfig::unaccelerated_single_core(),
+                warm,
+                meas,
+            );
+            let fs = f.fade.unwrap();
+            let cyc = f.cycles.max(1) as f64;
+            t.row([
+                b.name.to_string(),
+                format!("{:.2}", f.app_ipc()),
+                format!("{:.2}", f.monitored_ipc()),
+                format!("{:.1}", 100.0 * f.filtering_ratio()),
+                format!("{:.2}", u.slowdown()),
+                format!("{:.2}", f.slowdown()),
+                format!("{:.1}", 100.0 * fs.ufq_full_stall_cycles as f64 / cyc),
+                format!("{:.1}", 100.0 * fs.drain_stall_cycles as f64 / cyc),
+                format!("{:.1}", 100.0 * fs.suu_busy_cycles as f64 / cyc),
+                format!("{:.1}", 100.0 * fs.md_miss_stall_cycles as f64 / cyc),
+                format!("{:.1}", 100.0 * fs.tlb_miss_stall_cycles as f64 / cyc),
+                format!("{:.1}", 100.0 * f.util.app_idle as f64 / cyc),
+                format!("{:.0}", f.occupancy.mean()),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 3 (see DESIGN.md section 4).
+
+fn main() {
+    print!("{}", fade_bench::experiments::fig3());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Section 7.6 area/power numbers.
+
+fn main() {
+    print!("{}", fade_bench::experiments::power());
+}

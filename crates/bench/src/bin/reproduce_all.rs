@@ -1,0 +1,24 @@
+//! Runs every experiment of the paper's evaluation section in order,
+//! printing paper-style tables. Scale the window with FADE_MEASURE /
+//! FADE_WARMUP (instructions).
+
+use fade_bench::experiments as ex;
+
+fn main() {
+    let sections: [(&str, fn() -> String); 8] = [
+        ("Figure 2", ex::fig2),
+        ("Figure 3", ex::fig3),
+        ("Figure 4", ex::fig4),
+        ("Table 2", ex::table2),
+        ("Figure 9", ex::fig9),
+        ("Figure 10", ex::fig10),
+        ("Figure 11", ex::fig11),
+        ("Section 7.6", ex::power),
+    ];
+    for (name, f) in sections {
+        println!("================================================================");
+        println!("{name}");
+        println!("================================================================");
+        println!("{}", f());
+    }
+}

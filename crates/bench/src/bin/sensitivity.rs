@@ -1,0 +1,68 @@
+//! Sensitivity analysis of FADE's hardware parameters — the study the
+//! paper performed but excluded for space ("A sensitivity analysis for
+//! these two structures ... shows that this design point offers the
+//! best cost-performance ratio", Section 6). Sweeps the MD cache
+//! capacity, M-TLB reach, FSQ depth, and the two decoupling queues, and
+//! prints slowdown plus the area cost of each cache point.
+
+use fade_bench::{measure_len, warmup_len, Table};
+use fade_sim::QueueDepth;
+use fade_system::{run_experiment, SystemConfig};
+use fade_trace::bench;
+
+fn slow(cfg: &SystemConfig, monitor: &str, workload: &str) -> f64 {
+    let b = bench::by_name(workload).unwrap();
+    run_experiment(&b, monitor, cfg, warmup_len(), measure_len()).slowdown()
+}
+
+fn main() {
+    let monitor = "MemLeak";
+    let workload = "gcc";
+    println!("Sensitivity sweeps ({monitor} on {workload}, single-core 4-way OoO FADE)\n");
+
+    println!("MD cache capacity (2-way, 64B lines; paper design point: 4KB)");
+    let mut t = Table::new(["capacity", "slowdown", "cache area (mm^2)"]);
+    for kb in [1u32, 2, 4, 8, 16] {
+        let cfg = SystemConfig::fade_single_core().with_md_cache_bytes(kb * 1024);
+        let est = fade_power::cache_model((kb * 1024) as u64, 2, 64, 2.0);
+        t.row([
+            format!("{kb} KB"),
+            format!("{:.2}", slow(&cfg, monitor, workload)),
+            format!("{:.4}", est.area_mm2),
+        ]);
+    }
+    t.print();
+
+    println!("\nM-TLB entries (paper design point: 16)");
+    let mut t = Table::new(["entries", "slowdown"]);
+    for n in [4usize, 8, 16, 32, 64] {
+        let cfg = SystemConfig::fade_single_core().with_tlb_entries(n);
+        t.row([n.to_string(), format!("{:.2}", slow(&cfg, monitor, workload))]);
+    }
+    t.print();
+
+    println!("\nFSQ entries (non-blocking filtering; paper design point: 16)");
+    let mut t = Table::new(["entries", "slowdown"]);
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = SystemConfig::fade_single_core().with_fsq_entries(n);
+        t.row([n.to_string(), format!("{:.2}", slow(&cfg, monitor, workload))]);
+    }
+    t.print();
+
+    println!("\nEvent queue depth (paper design point: 32)");
+    let mut t = Table::new(["entries", "slowdown"]);
+    for n in [8usize, 16, 32, 64, 128, 1024] {
+        let cfg = SystemConfig::fade_single_core().with_event_queue(QueueDepth::Bounded(n));
+        t.row([n.to_string(), format!("{:.2}", slow(&cfg, monitor, workload))]);
+    }
+    t.print();
+
+    println!("\nUnfiltered queue depth (paper design point: 16)");
+    let mut t = Table::new(["entries", "slowdown"]);
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let mut cfg = SystemConfig::fade_single_core();
+        cfg.unfiltered_queue = QueueDepth::Bounded(n);
+        t.row([n.to_string(), format!("{:.2}", slow(&cfg, monitor, workload))]);
+    }
+    t.print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 (see DESIGN.md section 4).
+
+fn main() {
+    print!("{}", fade_bench::experiments::table2());
+}

@@ -1,0 +1,33 @@
+//! # fade-bench
+//!
+//! The benchmark harness: one binary per paper table/figure (run with
+//! `cargo run -p fade-bench --release --bin <figN|table2|power>`),
+//! criterion microbenchmarks (`cargo bench`), and shared table-printing
+//! helpers.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Default warmup instructions per measurement.
+pub const WARMUP: u64 = 30_000;
+/// Default measured instructions per run (binaries may scale this with
+/// the `FADE_MEASURE` environment variable).
+pub const MEASURE: u64 = 150_000;
+
+/// Reads the measurement length, honouring `FADE_MEASURE`.
+pub fn measure_len() -> u64 {
+    std::env::var("FADE_MEASURE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(MEASURE)
+}
+
+/// Reads the warmup length, honouring `FADE_WARMUP`.
+pub fn warmup_len() -> u64 {
+    std::env::var("FADE_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(WARMUP)
+}

@@ -1,0 +1,143 @@
+//! Property tests for the accelerator's storage structures and the
+//! non-blocking update algebra.
+
+use std::collections::VecDeque;
+
+use fade::{Fsq, InvId, InvRf, NbAction, NbCond, NbCondOperand, NbUpdate, OperandMeta, TagCache, TagCacheConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum FsqOp {
+    Push { addr: u64, value: u64, token: u64 },
+    Retire { token: u64 },
+}
+
+fn fsq_op() -> impl Strategy<Value = FsqOp> {
+    prop_oneof![
+        (0u64..16, any::<u64>(), 0u64..8)
+            .prop_map(|(a, value, token)| FsqOp::Push { addr: a * 8, value, token }),
+        (0u64..8).prop_map(|token| FsqOp::Retire { token }),
+    ]
+}
+
+proptest! {
+    /// FSQ forwarding matches a reference age-ordered store model.
+    #[test]
+    fn fsq_matches_reference(ops in prop::collection::vec(fsq_op(), 0..200)) {
+        let mut fsq = Fsq::new(16);
+        let mut reference: VecDeque<(u64, u64, u64)> = VecDeque::new(); // (addr, value, token)
+        for op in ops {
+            match op {
+                FsqOp::Push { addr, value, token } => {
+                    let ok = fsq.push(addr, 1, value, token).is_ok();
+                    if reference.len() < 16 {
+                        prop_assert!(ok);
+                        reference.push_back((addr, value, token));
+                    } else {
+                        prop_assert!(!ok);
+                    }
+                }
+                FsqOp::Retire { token } => {
+                    fsq.retire(token);
+                    reference.retain(|e| e.2 != token);
+                }
+            }
+            prop_assert_eq!(fsq.len(), reference.len());
+            // Youngest-match forwarding for every address.
+            for probe in 0..16u64 {
+                let addr = probe * 8;
+                let expect = reference
+                    .iter()
+                    .rev()
+                    .find(|e| e.0 == addr)
+                    .map(|e| e.1);
+                prop_assert_eq!(fsq.search(addr, 1), expect, "addr {}", addr);
+            }
+        }
+    }
+
+    /// The tag cache implements exact LRU per set.
+    #[test]
+    fn tag_cache_matches_lru_reference(addrs in prop::collection::vec(0u64..(1u64 << 14), 1..400)) {
+        let cfg = TagCacheConfig {
+            size_bytes: 8 * 64, // 4 sets x 2 ways
+            ways: 2,
+            line_bytes: 64,
+        };
+        let sets = cfg.sets() as u64;
+        let mut cache = TagCache::new(cfg);
+        // Reference: per-set MRU-ordered list of lines.
+        let mut reference: Vec<Vec<u64>> = vec![Vec::new(); sets as usize];
+        for &a in &addrs {
+            let line = a / 64;
+            let set = (line % sets) as usize;
+            let hit_ref = reference[set].contains(&line);
+            let hit = cache.access(a);
+            prop_assert_eq!(hit, hit_ref, "addr {}", a);
+            if let Some(pos) = reference[set].iter().position(|&l| l == line) {
+                reference[set].remove(pos);
+            } else if reference[set].len() == 2 {
+                reference[set].pop();
+            }
+            reference[set].insert(0, line);
+        }
+    }
+
+    /// Unconditional update actions follow their algebra.
+    #[test]
+    fn nb_actions_algebra(s1: u64, s2: u64, d: u64, c: u64) {
+        let mut inv = InvRf::new();
+        inv.write(InvId::new(0), c);
+        let ops = OperandMeta { s1, s2, d };
+        prop_assert_eq!(
+            NbUpdate::unconditional(NbAction::PropagateS1).evaluate(&ops, &inv),
+            Some(s1)
+        );
+        prop_assert_eq!(
+            NbUpdate::unconditional(NbAction::ComposeOr).evaluate(&ops, &inv),
+            Some(s1 | s2)
+        );
+        prop_assert_eq!(
+            NbUpdate::unconditional(NbAction::ComposeAnd).evaluate(&ops, &inv),
+            Some(s1 & s2)
+        );
+        prop_assert_eq!(
+            NbUpdate::unconditional(NbAction::SetConst(InvId::new(0))).evaluate(&ops, &inv),
+            Some(c)
+        );
+    }
+
+    /// Conditional updates take exactly one branch, decided by equality.
+    #[test]
+    fn nb_conditions_partition(s1: u64, s2: u64, d: u64) {
+        let inv = InvRf::new();
+        let ops = OperandMeta { s1, s2, d };
+        let cond = NbCond {
+            lhs: NbCondOperand::S1,
+            rhs: NbCondOperand::S2,
+            when_equal: true,
+        };
+        let with_else =
+            NbUpdate::when_else(cond, NbAction::PropagateS1, NbAction::PropagateS2);
+        let expected = if s1 == s2 { s1 } else { s2 };
+        prop_assert_eq!(with_else.evaluate(&ops, &inv), Some(expected));
+        // Without an else branch, the failed case is a no-op.
+        let without = NbUpdate::when(cond, NbAction::PropagateS1);
+        prop_assert_eq!(
+            without.evaluate(&ops, &inv),
+            if s1 == s2 { Some(s1) } else { None }
+        );
+    }
+
+    /// Cache statistics count every access exactly once.
+    #[test]
+    fn cache_stats_conserve_accesses(addrs in prop::collection::vec(0u64..(1u64 << 16), 0..300)) {
+        let mut cache = TagCache::new(TagCacheConfig::md_cache());
+        for &a in &addrs {
+            cache.access(a);
+        }
+        prop_assert_eq!(cache.stats().accesses(), addrs.len() as u64);
+        let ratio = cache.stats().hit_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
+    }
+}

@@ -1,0 +1,138 @@
+//! Structural coverage checks across all monitors: every event the
+//! producer can enqueue for a monitor must have a programmed
+//! event-table entry, and the cost models must be internally
+//! consistent. These catch the silent-drop class of bugs (a selected
+//! event with no entry would be mis-filtered).
+
+use fade_isa::{event_id_for, AppInstr, InstrClass, MemRef, VirtAddr, layout};
+use fade_monitors::all_monitors;
+
+/// One representative instruction per class, with both stack and
+/// non-stack memory variants.
+fn representatives() -> Vec<AppInstr> {
+    let mut v = Vec::new();
+    for class in InstrClass::ALL {
+        let base = AppInstr::new(VirtAddr::new(0x400), class);
+        if class.is_memory() {
+            v.push(base.with_mem(MemRef::word(VirtAddr::new(layout::HEAP_BASE))));
+            v.push(base.with_mem(MemRef::word(VirtAddr::new(layout::GLOBALS_BASE))));
+            v.push(base.with_mem(MemRef::word(VirtAddr::new(layout::STACK_TOP - 64))));
+        } else {
+            v.push(base);
+        }
+    }
+    v
+}
+
+#[test]
+fn every_selected_event_has_a_table_entry() {
+    for mon in all_monitors() {
+        let program = mon.program();
+        for instr in representatives() {
+            if mon.selects(&instr) {
+                let id = event_id_for(&instr);
+                assert!(
+                    program.table().entry(id).is_some(),
+                    "{} selects {:?} but its table has no entry for {id}",
+                    mon.name(),
+                    instr.class
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn selection_is_a_pure_function_of_class_and_region() {
+    // Register choice must never affect selection.
+    for mon in all_monitors() {
+        for instr in representatives() {
+            let with_regs = instr
+                .with_src1(fade_isa::Reg::new(5))
+                .with_dest(fade_isa::Reg::new(6));
+            assert_eq!(
+                mon.selects(&instr),
+                mon.selects(&with_regs),
+                "{}: selection must ignore register operands",
+                mon.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_monitors_never_select_computation() {
+    for mon in all_monitors() {
+        if mon.kind() == fade_monitors::MonitorKind::MemoryTracking {
+            let alu = AppInstr::new(VirtAddr::new(0), InstrClass::IntAlu);
+            assert!(!mon.selects(&alu), "{}", mon.name());
+        }
+    }
+}
+
+#[test]
+fn cost_models_are_internally_consistent() {
+    for mon in all_monitors() {
+        let c = mon.costs();
+        assert!(c.complex >= c.cc, "{}: complex >= cc", mon.name());
+        assert!(c.complex >= c.partial_short, "{}", mon.name());
+        assert!(c.cc > 0 && c.complex > 0, "{}", mon.name());
+        // Stack costs grow with frame size for stack-shadowing monitors.
+        if mon.monitors_stack() {
+            let small = fade_isa::StackUpdateEvent {
+                base: VirtAddr::new(layout::STACK_TOP - 4096),
+                len: 32,
+                kind: fade_isa::StackUpdateKind::Call,
+                tid: 0,
+            };
+            let big = fade_isa::StackUpdateEvent { len: 1024, ..small };
+            assert!(mon.stack_cost(&big) > mon.stack_cost(&small), "{}", mon.name());
+        }
+    }
+}
+
+#[test]
+fn nb_rules_cover_metadata_writing_entries_for_propagation_monitors() {
+    // For propagation trackers, every programmed *primary* entry whose
+    // handler changes critical metadata must carry a non-blocking rule
+    // — otherwise filtering would run ahead with stale state.
+    for mon in all_monitors() {
+        if mon.kind() != fade_monitors::MonitorKind::PropagationTracking {
+            continue;
+        }
+        let program = mon.program();
+        for instr in representatives() {
+            if !mon.selects(&instr) {
+                continue;
+            }
+            let id = event_id_for(&instr);
+            let entry = program.table().entry(id).unwrap();
+            assert!(
+                entry.nb.is_some(),
+                "{}: entry {id} lacks a non-blocking update rule",
+                mon.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn high_level_costs_scale_with_size() {
+    for mon in all_monitors() {
+        let small = fade_isa::HighLevelEvent::Malloc {
+            base: VirtAddr::new(layout::HEAP_BASE),
+            len: 16,
+            ctx: 1,
+        };
+        let big = fade_isa::HighLevelEvent::Malloc {
+            base: VirtAddr::new(layout::HEAP_BASE),
+            len: 4096,
+            ctx: 1,
+        };
+        assert!(
+            mon.high_level_cost(&big) > mon.high_level_cost(&small),
+            "{}: bulk handlers must scale with the region",
+            mon.name()
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Mini-CACTI: first-order SRAM cache area/power/timing at 40 nm.
+//!
+//! The paper models the 4 KB, 2-way MD cache with CACTI 6.5 and reports
+//! 0.03 mm², 151 mW peak, 0.3 ns access (Section 7.6). This module
+//! reproduces those numbers from the classic CACTI decomposition:
+//! data + tag arrays with per-bit cell area, a periphery factor
+//! (decoders, sense amps, drivers), and RC-flavoured delay terms that
+//! grow with the number of sets and the associativity.
+
+use crate::tech::Tech40;
+
+/// Result of the cache model.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheEstimate {
+    /// Total area in mm².
+    pub area_mm2: f64,
+    /// Peak power at the given frequency, in mW.
+    pub peak_power_mw: f64,
+    /// Access latency in ns.
+    pub access_ns: f64,
+}
+
+/// SRAM array periphery factor (decoders, sense amplifiers, drivers).
+const PERIPHERY_FACTOR: f64 = 1.87;
+/// Fixed component of the access path (decode + sense), ns.
+const ACCESS_BASE_NS: f64 = 0.12;
+/// Wordline/bitline delay per doubling of the set count, ns.
+const ACCESS_PER_LOG2_SET_NS: f64 = 0.03;
+/// Way-mux delay per way, ns.
+const ACCESS_PER_WAY_NS: f64 = 0.02;
+/// Peak read energy per access: fixed + per-bit components (pJ).
+const READ_BASE_PJ: f64 = 24.0;
+const READ_PER_LINE_BIT_PJ: f64 = 0.049;
+
+/// Estimates a set-associative SRAM cache at 40 nm.
+///
+/// # Panics
+///
+/// Panics on degenerate geometry (zero ways/line, or fewer than one
+/// set).
+pub fn cache_model(size_bytes: u64, ways: u32, line_bytes: u32, freq_ghz: f64) -> CacheEstimate {
+    assert!(ways > 0 && line_bytes > 0, "degenerate cache geometry");
+    let sets = size_bytes / (ways as u64 * line_bytes as u64);
+    assert!(sets >= 1, "cache smaller than one set");
+
+    // Data array + tag array bits. 32-bit physical tags against a
+    // line/set split, plus valid + LRU state.
+    let data_bits = size_bytes as f64 * 8.0;
+    let index_bits = (sets as f64).log2();
+    let offset_bits = (line_bytes as f64).log2();
+    let tag_bits_per_line = (40.0 - index_bits - offset_bits).max(8.0) + 2.0;
+    let tag_bits = tag_bits_per_line * sets as f64 * ways as f64;
+
+    let cell_um2 = (data_bits + tag_bits) * Tech40::SRAM_BIT_UM2;
+    let area_mm2 = cell_um2 * PERIPHERY_FACTOR / 1e6;
+
+    // Peak dynamic: one read per cycle touching `ways` lines' worth of
+    // bitlines plus the tag compare.
+    let line_bits = line_bytes as f64 * 8.0;
+    let read_pj = READ_BASE_PJ + READ_PER_LINE_BIT_PJ * line_bits * ways as f64;
+    let dynamic_mw = read_pj * freq_ghz;
+    let leak_mw = area_mm2 * 1e6 * Tech40::LEAK_NW_PER_UM2 * 1e-6;
+
+    let access_ns = ACCESS_BASE_NS
+        + ACCESS_PER_LOG2_SET_NS * (sets as f64).log2()
+        + ACCESS_PER_WAY_NS * ways as f64;
+
+    CacheEstimate {
+        area_mm2,
+        peak_power_mw: dynamic_mw + leak_mw,
+        access_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's MD cache: 4 KB, 2-way, 64 B lines, at 2 GHz.
+    fn md_cache() -> CacheEstimate {
+        cache_model(4096, 2, 64, 2.0)
+    }
+
+    #[test]
+    fn matches_paper_md_cache_area() {
+        let e = md_cache();
+        assert!(
+            (e.area_mm2 - 0.03).abs() / 0.03 < 0.15,
+            "area {:.4} vs paper 0.03",
+            e.area_mm2
+        );
+    }
+
+    #[test]
+    fn matches_paper_md_cache_power() {
+        let e = md_cache();
+        assert!(
+            (e.peak_power_mw - 151.0).abs() / 151.0 < 0.10,
+            "power {:.1} vs paper 151",
+            e.peak_power_mw
+        );
+    }
+
+    #[test]
+    fn matches_paper_md_cache_latency() {
+        let e = md_cache();
+        assert!(
+            (e.access_ns - 0.3).abs() < 0.05,
+            "latency {:.3} vs paper 0.3",
+            e.access_ns
+        );
+    }
+
+    #[test]
+    fn bigger_caches_are_bigger_and_slower() {
+        let small = cache_model(4096, 2, 64, 2.0);
+        let big = cache_model(32 * 1024, 2, 64, 2.0);
+        assert!(big.area_mm2 > 4.0 * small.area_mm2);
+        assert!(big.access_ns > small.access_ns);
+    }
+
+    #[test]
+    fn associativity_costs_latency_and_power() {
+        let dm = cache_model(4096, 1, 64, 2.0);
+        let assoc = cache_model(4096, 8, 64, 2.0);
+        assert!(assoc.access_ns > dm.access_ns);
+        assert!(assoc.peak_power_mw > dm.peak_power_mw);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate cache geometry")]
+    fn zero_ways_panics() {
+        let _ = cache_model(4096, 0, 64, 2.0);
+    }
+}

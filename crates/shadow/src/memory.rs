@@ -1,0 +1,174 @@
+//! Sparse paged metadata memory.
+
+use std::collections::HashMap;
+
+/// Log2 of a shadow page, kept equal to the application page size so the
+/// M-TLB maps one application page to one metadata frame.
+pub const SHADOW_PAGE_SHIFT: u32 = 12;
+/// Shadow page size in bytes.
+pub const SHADOW_PAGE_SIZE: usize = 1 << SHADOW_PAGE_SHIFT;
+
+/// A sparse, byte-granularity metadata memory.
+///
+/// Pages are materialized on first write; reads of untouched memory
+/// return zero, which every monitor maps to its "unallocated"/"clean"
+/// encoding so that fresh address space is consistently encoded.
+///
+/// Addresses here are *metadata-space* addresses (`u64`), produced by
+/// [`MetadataMap`](crate::MetadataMap).
+#[derive(Clone, Debug, Default)]
+pub struct ShadowMemory {
+    pages: HashMap<u64, Box<[u8; SHADOW_PAGE_SIZE]>>,
+}
+
+impl ShadowMemory {
+    /// Creates an empty shadow memory.
+    pub fn new() -> Self {
+        ShadowMemory {
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Reads one metadata byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let page = addr >> SHADOW_PAGE_SHIFT;
+        let off = (addr as usize) & (SHADOW_PAGE_SIZE - 1);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes one metadata byte, materializing the page if needed.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = addr >> SHADOW_PAGE_SHIFT;
+        let off = (addr as usize) & (SHADOW_PAGE_SIZE - 1);
+        self.page_mut(page)[off] = value;
+    }
+
+    /// Reads up to 8 metadata bytes starting at `addr`, little-endian
+    /// packed into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0 || n > 8`.
+    pub fn read_bytes(&self, addr: u64, n: usize) -> u64 {
+        assert!(n >= 1 && n <= 8, "metadata reads are 1..=8 bytes");
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n` bytes of `value` starting at `addr`,
+    /// little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0 || n > 8`.
+    pub fn write_bytes(&mut self, addr: u64, n: usize, value: u64) {
+        assert!(n >= 1 && n <= 8, "metadata writes are 1..=8 bytes");
+        for i in 0..n {
+            self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Sets `len` consecutive metadata bytes to `value` (bulk
+    /// initialization, as performed by the stack-update unit and the
+    /// malloc/free handlers).
+    pub fn fill(&mut self, addr: u64, len: u64, value: u8) {
+        let mut cur = addr;
+        let end = addr + len;
+        while cur < end {
+            let page = cur >> SHADOW_PAGE_SHIFT;
+            let off = (cur as usize) & (SHADOW_PAGE_SIZE - 1);
+            let in_page = (SHADOW_PAGE_SIZE - off).min((end - cur) as usize);
+            let p = self.page_mut(page);
+            p[off..off + in_page].fill(value);
+            cur += in_page as u64;
+        }
+    }
+
+    /// Number of materialized pages (diagnostics / footprint accounting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8; SHADOW_PAGE_SIZE] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; SHADOW_PAGE_SIZE]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = ShadowMemory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u8(u64::MAX), 0);
+        assert_eq!(m.read_bytes(0x4000, 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = ShadowMemory::new();
+        m.write_u8(0x1234, 0xab);
+        assert_eq!(m.read_u8(0x1234), 0xab);
+        assert_eq!(m.read_u8(0x1235), 0);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn multi_byte_round_trip_little_endian() {
+        let mut m = ShadowMemory::new();
+        m.write_bytes(0xff8, 4, 0x0403_0201);
+        assert_eq!(m.read_u8(0xff8), 0x01);
+        assert_eq!(m.read_u8(0xffb), 0x04);
+        assert_eq!(m.read_bytes(0xff8, 4), 0x0403_0201);
+    }
+
+    #[test]
+    fn multi_byte_spans_page_boundary() {
+        let mut m = ShadowMemory::new();
+        let addr = (SHADOW_PAGE_SIZE - 2) as u64;
+        m.write_bytes(addr, 4, 0xdead_beef);
+        assert_eq!(m.read_bytes(addr, 4), 0xdead_beef);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn fill_spans_pages() {
+        let mut m = ShadowMemory::new();
+        let base = (SHADOW_PAGE_SIZE - 8) as u64;
+        m.fill(base, 16, 0x5a);
+        for i in 0..16 {
+            assert_eq!(m.read_u8(base + i), 0x5a, "byte {i}");
+        }
+        assert_eq!(m.read_u8(base + 16), 0);
+        assert_eq!(m.read_u8(base - 1), 0);
+    }
+
+    #[test]
+    fn fill_zero_length_is_noop() {
+        let mut m = ShadowMemory::new();
+        m.fill(0x100, 0, 0xff);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata reads are 1..=8 bytes")]
+    fn read_bytes_rejects_zero() {
+        ShadowMemory::new().read_bytes(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata writes are 1..=8 bytes")]
+    fn write_bytes_rejects_nine() {
+        ShadowMemory::new().write_bytes(0, 9, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: the shadow-memory substrate against simple
+//! reference models.
+
+use std::collections::HashMap;
+
+use fade_isa::VirtAddr;
+use fade_shadow::{MetadataMap, MetadataState, ShadowMemory};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum MemOp {
+    Write { addr: u32, value: u8 },
+    WriteWide { addr: u32, n: u8, value: u64 },
+    Fill { addr: u32, len: u16, value: u8 },
+}
+
+fn mem_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (0u32..0x8000, any::<u8>()).prop_map(|(addr, value)| MemOp::Write { addr, value }),
+        (0u32..0x8000, 1u8..=8, any::<u64>())
+            .prop_map(|(addr, n, value)| MemOp::WriteWide { addr, n, value }),
+        (0u32..0x8000, 0u16..256, any::<u8>())
+            .prop_map(|(addr, len, value)| MemOp::Fill { addr, len, value }),
+    ]
+}
+
+proptest! {
+    /// ShadowMemory behaves exactly like a byte map.
+    #[test]
+    fn shadow_memory_matches_reference(ops in prop::collection::vec(mem_op(), 0..200)) {
+        let mut mem = ShadowMemory::new();
+        let mut reference: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                MemOp::Write { addr, value } => {
+                    mem.write_u8(addr as u64, value);
+                    reference.insert(addr as u64, value);
+                }
+                MemOp::WriteWide { addr, n, value } => {
+                    mem.write_bytes(addr as u64, n as usize, value);
+                    for i in 0..n as u64 {
+                        reference.insert(addr as u64 + i, (value >> (8 * i)) as u8);
+                    }
+                }
+                MemOp::Fill { addr, len, value } => {
+                    mem.fill(addr as u64, len as u64, value);
+                    for i in 0..len as u64 {
+                        reference.insert(addr as u64 + i, value);
+                    }
+                }
+            }
+        }
+        for (&a, &v) in &reference {
+            prop_assert_eq!(mem.read_u8(a), v, "byte at {}", a);
+        }
+        // Untouched bytes read zero.
+        prop_assert_eq!(mem.read_u8(0x9000), 0);
+    }
+
+    /// Wide reads reassemble exactly the bytes that wide writes spread.
+    #[test]
+    fn wide_read_write_round_trip(addr in 0u64..0x4000, n in 1usize..=8, value: u64) {
+        let mut mem = ShadowMemory::new();
+        mem.write_bytes(addr, n, value);
+        let mask = if n == 8 { u64::MAX } else { (1u64 << (8 * n)) - 1 };
+        prop_assert_eq!(mem.read_bytes(addr, n), value & mask);
+    }
+
+    /// md_range covers exactly the units that per-address mapping hits.
+    #[test]
+    fn md_range_is_consistent_with_md_addr(base in 0u32..0x1_0000, len in 1u32..512) {
+        let map = MetadataMap::per_word();
+        let (start, md_len) = map.md_range(VirtAddr::new(base), len);
+        // First and last byte of the range map inside it.
+        let first = map.md_addr(VirtAddr::new(base));
+        let last = map.md_addr(VirtAddr::new(base + len - 1));
+        prop_assert_eq!(first, start);
+        prop_assert_eq!(last, start + md_len - 1);
+    }
+
+    /// Bulk fill equals per-word writes.
+    #[test]
+    fn fill_app_range_equals_per_word_stores(base in 0u32..0x1000, words in 1u32..64, v in 0u8..4) {
+        let base = base * 4;
+        let mut bulk = MetadataState::new(MetadataMap::per_word());
+        bulk.fill_app_range(VirtAddr::new(base), words * 4, v);
+        let mut single = MetadataState::new(MetadataMap::per_word());
+        for w in 0..words {
+            single.set_mem_meta(VirtAddr::new(base + 4 * w), v);
+        }
+        for w in 0..words + 2 {
+            let a = VirtAddr::new(base + 4 * w);
+            prop_assert_eq!(bulk.mem_meta(a), single.mem_meta(a), "word {}", w);
+        }
+    }
+
+    /// Span reads pack per-unit metadata little-endian.
+    #[test]
+    fn span_read_matches_units(addr in 0u32..0x1000, size in 1u8..=8) {
+        let addr = addr * 4 + 2; // intentionally unaligned
+        let mut st = MetadataState::new(MetadataMap::per_word());
+        let a = VirtAddr::new(addr);
+        let units = st.map().units_for_access(a, size);
+        for u in 0..units {
+            st.set_mem_meta(VirtAddr::new(addr + 4 * u as u32), u + 1);
+        }
+        let packed = st.mem_meta_span(a, size);
+        for u in 0..units {
+            prop_assert_eq!((packed >> (8 * u)) as u8, u + 1, "unit {}", u);
+        }
+    }
+}

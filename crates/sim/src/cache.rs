@@ -1,0 +1,47 @@
+//! Memory-hierarchy latencies (Table 1 of the paper).
+
+/// Access latencies of the simulated memory hierarchy, in cycles.
+///
+/// Defaults follow Table 1: 32KB 2-way L1 at 2 cycles, 2MB 16-way shared
+/// L2 at 10 cycles, DRAM at 90 cycles. FADE's MD cache (4KB, 2-way,
+/// 1-cycle) sits in front of this hierarchy; its misses pay `l2` or
+/// `dram` latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemLatency {
+    /// L1 data cache hit latency.
+    pub l1: u32,
+    /// Shared L2 hit latency.
+    pub l2: u32,
+    /// DRAM access latency.
+    pub dram: u32,
+}
+
+impl MemLatency {
+    /// The Table 1 configuration.
+    pub const fn table1() -> Self {
+        MemLatency {
+            l1: 2,
+            l2: 10,
+            dram: 90,
+        }
+    }
+}
+
+impl Default for MemLatency {
+    fn default() -> Self {
+        MemLatency::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let m = MemLatency::default();
+        assert_eq!(m.l1, 2);
+        assert_eq!(m.l2, 10);
+        assert_eq!(m.dram, 90);
+    }
+}

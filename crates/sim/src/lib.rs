@@ -1,0 +1,32 @@
+//! # fade-sim
+//!
+//! Cycle-level simulation substrate for the FADE reproduction.
+//!
+//! The paper evaluates FADE with Flexus full-system simulation (Section
+//! 6). This crate provides the equivalent laptop-scale substrate:
+//!
+//! * [`Rng`] — deterministic in-crate RNG (SplitMix64 seeding +
+//!   xoshiro256++ stream) so every experiment is bit-reproducible,
+//! * [`BoundedQueue`] — the decoupling queues of Figure 1 with occupancy
+//!   accounting,
+//! * [`CoreKind`] / [`CommitModel`] / [`HandlerExec`] — the three core
+//!   microarchitectures of Table 1 (in-order 1-way, lean OoO 2-way/48-ROB,
+//!   aggressive OoO 4-way/96-ROB), modelled at the level FADE cares
+//!   about: bursty retirement and handler execution throughput,
+//! * [`MemLatency`] — Table 1 memory-hierarchy latencies,
+//! * statistics helpers ([`LogHistogram`], [`RunningMean`], [`gmean`]).
+
+pub mod cache;
+pub mod core_model;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+pub use cache::MemLatency;
+pub use core_model::{CommitModel, CommitProfile, CoreKind, HandlerExec, SmtArbiter};
+pub use queue::{BoundedQueue, QueueDepth};
+pub use rng::Rng;
+pub use stats::{gmean, Cdf, LogHistogram, RunningMean};
+
+/// Simulation time, in core clock cycles.
+pub type Cycle = u64;

@@ -1,0 +1,249 @@
+//! Statistics: histograms, CDFs and means for the evaluation harness.
+
+/// A power-of-two bucketed histogram, used for queue-occupancy and
+/// burst-size distributions (Figures 3 and 4 of the paper plot exactly
+/// these power-of-two x-axes).
+///
+/// Bucket `i` counts samples in `[2^(i-1)+1 .. 2^i]`, with bucket 0
+/// counting zeros and bucket 1 counting ones.
+#[derive(Clone, Debug, Default)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = Self::bucket_of(value);
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => 64 - (v - 1).leading_zeros() as usize + 1,
+        }
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    pub fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all samples (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The cumulative distribution: `(bucket_upper, cumulative_percent)`
+    /// pairs, one per bucket.
+    pub fn cdf(&self) -> Cdf {
+        let mut points = Vec::with_capacity(self.counts.len());
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            let pct = if self.total == 0 {
+                100.0
+            } else {
+                100.0 * cum as f64 / self.total as f64
+            };
+            points.push((Self::bucket_upper(i), pct));
+        }
+        Cdf { points }
+    }
+
+    /// Smallest value `v` such that at least `pct` percent of samples are
+    /// `<= v` (reported at bucket granularity).
+    pub fn percentile(&self, pct: f64) -> u64 {
+        let target = (pct / 100.0 * self.total as f64).ceil() as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(self.counts.len().saturating_sub(1))
+    }
+}
+
+/// A cumulative distribution function as `(value, percent)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cdf {
+    /// `(upper-bound, cumulative percent)` points in increasing order.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl Cdf {
+    /// Cumulative percent at the first point whose bound is `>= value`
+    /// (100 beyond the last point).
+    pub fn percent_at(&self, value: u64) -> f64 {
+        for &(v, p) in &self.points {
+            if v >= value {
+                return p;
+            }
+        }
+        100.0
+    }
+}
+
+/// An incrementally updated arithmetic mean.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningMean {
+    sum: f64,
+    n: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty mean.
+    pub fn new() -> Self {
+        RunningMean::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.sum += x;
+        self.n += 1;
+    }
+
+    /// The mean so far (0 if no samples).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Geometric mean of a slice of positive values — the paper reports
+/// gmean slowdowns (Figure 3(c) x-axis label "gmean").
+///
+/// Returns 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn gmean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "gmean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 3);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(5), 4);
+        assert_eq!(LogHistogram::bucket_of(8), 4);
+        assert_eq!(LogHistogram::bucket_of(9), 5);
+    }
+
+    #[test]
+    fn bucket_upper_matches_bucket_of() {
+        for i in 1..20 {
+            let upper = LogHistogram::bucket_upper(i);
+            assert_eq!(LogHistogram::bucket_of(upper), i);
+            assert_eq!(LogHistogram::bucket_of(upper + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn cdf_reaches_100() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 1, 2, 5, 9] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        let last = cdf.points.last().unwrap();
+        assert!((last.1 - 100.0).abs() < 1e-9);
+        // 3 of 6 samples are <= 1.
+        assert!((cdf.percent_at(1) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_finds_bucket() {
+        let mut h = LogHistogram::new();
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert!(h.percentile(50.0) >= 32);
+        assert!(h.percentile(100.0) >= 64);
+        assert_eq!(h.total(), 100);
+    }
+
+    #[test]
+    fn mean_tracks_sum() {
+        let mut h = LogHistogram::new();
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        m.add(1.0);
+        m.add(3.0);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn gmean_of_equal_values() {
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(gmean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gmean requires positive values")]
+    fn gmean_rejects_zero() {
+        let _ = gmean(&[1.0, 0.0]);
+    }
+}

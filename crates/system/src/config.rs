@@ -1,0 +1,213 @@
+//! System configurations (Figure 8 and Section 6 of the paper).
+
+use fade::FilterMode;
+use fade_sim::{CoreKind, QueueDepth};
+
+/// Where the application and monitor threads run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// One fine-grained dual-threaded core shared by the application
+    /// and monitor threads (Figure 8(b)); minimizes resources.
+    SingleCoreDualThread,
+    /// Separate application and monitor cores (Figure 8(a));
+    /// maximizes concurrency.
+    TwoCore,
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Topology::SingleCoreDualThread => "single-core",
+            Topology::TwoCore => "two-core",
+        })
+    }
+}
+
+/// Whether the system includes the FADE accelerator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Accel {
+    /// Unaccelerated: application and monitor communicate through a
+    /// single queue; every monitored event runs a software handler.
+    None,
+    /// FADE-enabled, in the given filtering mode.
+    Fade(FilterMode),
+}
+
+/// A complete system configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Core microarchitecture (both cores in two-core systems).
+    pub core: CoreKind,
+    /// Thread placement.
+    pub topology: Topology,
+    /// Accelerator presence/mode.
+    pub accel: Accel,
+    /// Event queue depth (app → FADE, or app → monitor when
+    /// unaccelerated). Paper default: 32.
+    pub event_queue: QueueDepth,
+    /// Unfiltered event queue depth (FADE → monitor). Paper default: 16.
+    pub unfiltered_queue: QueueDepth,
+    /// Simulation seed (workload and commit process).
+    pub seed: u64,
+    /// Section 3.2's idealized study: the filtering accelerator
+    /// consumes exactly one event per cycle (no metadata misses, free
+    /// software handlers, unbounded unfiltered queue). Used by the
+    /// Figure 3 experiments only.
+    pub ideal_consumer: bool,
+    /// Hardware-parameter overrides for sensitivity sweeps.
+    pub tweaks: FadeTweaks,
+}
+
+/// Optional overrides of FADE's hardware parameters (the sensitivity
+/// analysis the paper mentions but omits for space, Section 6).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FadeTweaks {
+    /// MD cache capacity in bytes (2-way, 64 B lines).
+    pub md_cache_bytes: Option<u32>,
+    /// M-TLB entries.
+    pub tlb_entries: Option<usize>,
+    /// Filter store queue entries.
+    pub fsq_entries: Option<usize>,
+}
+
+impl SystemConfig {
+    /// The headline configuration: single-core dual-threaded 4-way OoO
+    /// with Non-Blocking FADE (used for Figure 9 and Table 2).
+    pub fn fade_single_core() -> Self {
+        SystemConfig {
+            core: CoreKind::AggrOoO4,
+            topology: Topology::SingleCoreDualThread,
+            accel: Accel::Fade(FilterMode::NonBlocking),
+            event_queue: QueueDepth::Bounded(32),
+            unfiltered_queue: QueueDepth::Bounded(16),
+            seed: 0x5eed,
+            ideal_consumer: false,
+            tweaks: FadeTweaks::default(),
+        }
+    }
+
+    /// The unaccelerated counterpart of [`SystemConfig::fade_single_core`].
+    pub fn unaccelerated_single_core() -> Self {
+        SystemConfig {
+            accel: Accel::None,
+            ..Self::fade_single_core()
+        }
+    }
+
+    /// Two-core FADE system (Figure 11(a,b)).
+    pub fn fade_two_core() -> Self {
+        SystemConfig {
+            topology: Topology::TwoCore,
+            ..Self::fade_single_core()
+        }
+    }
+
+    /// Two-core unaccelerated system.
+    pub fn unaccelerated_two_core() -> Self {
+        SystemConfig {
+            accel: Accel::None,
+            topology: Topology::TwoCore,
+            ..Self::fade_single_core()
+        }
+    }
+
+    /// Replaces the core kind.
+    pub fn with_core(mut self, core: CoreKind) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Replaces the event-queue depth.
+    pub fn with_event_queue(mut self, depth: QueueDepth) -> Self {
+        self.event_queue = depth;
+        self
+    }
+
+    /// Replaces the filtering mode (no-op for unaccelerated systems).
+    pub fn with_mode(mut self, mode: FilterMode) -> Self {
+        if let Accel::Fade(_) = self.accel {
+            self.accel = Accel::Fade(mode);
+        }
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the idealized one-event-per-cycle consumer (Section 3.2).
+    pub fn with_ideal_consumer(mut self) -> Self {
+        self.ideal_consumer = true;
+        self
+    }
+
+    /// Overrides the MD cache capacity (sensitivity sweeps).
+    pub fn with_md_cache_bytes(mut self, bytes: u32) -> Self {
+        self.tweaks.md_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Overrides the M-TLB entry count (sensitivity sweeps).
+    pub fn with_tlb_entries(mut self, entries: usize) -> Self {
+        self.tweaks.tlb_entries = Some(entries);
+        self
+    }
+
+    /// Overrides the FSQ entry count (sensitivity sweeps).
+    pub fn with_fsq_entries(mut self, entries: usize) -> Self {
+        self.tweaks.fsq_entries = Some(entries);
+        self
+    }
+
+    /// Short description for experiment tables.
+    pub fn label(&self) -> String {
+        let accel = match self.accel {
+            Accel::None => "unaccel".to_string(),
+            Accel::Fade(FilterMode::Blocking) => "FADE-B".to_string(),
+            Accel::Fade(FilterMode::NonBlocking) => "FADE".to_string(),
+        };
+        format!("{} {} {}", accel, self.topology, self.core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_right_knobs() {
+        let f = SystemConfig::fade_single_core();
+        let u = SystemConfig::unaccelerated_single_core();
+        assert_eq!(f.topology, Topology::SingleCoreDualThread);
+        assert!(matches!(f.accel, Accel::Fade(FilterMode::NonBlocking)));
+        assert!(matches!(u.accel, Accel::None));
+        assert_eq!(SystemConfig::fade_two_core().topology, Topology::TwoCore);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SystemConfig::fade_single_core()
+            .with_core(CoreKind::InOrder1)
+            .with_mode(FilterMode::Blocking)
+            .with_event_queue(QueueDepth::Unbounded)
+            .with_seed(9);
+        assert_eq!(c.core, CoreKind::InOrder1);
+        assert!(matches!(c.accel, Accel::Fade(FilterMode::Blocking)));
+        assert_eq!(c.event_queue, QueueDepth::Unbounded);
+        assert_eq!(c.seed, 9);
+        // with_mode on unaccelerated is a no-op.
+        let u = SystemConfig::unaccelerated_single_core().with_mode(FilterMode::Blocking);
+        assert!(matches!(u.accel, Accel::None));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(
+            SystemConfig::fade_single_core().label(),
+            SystemConfig::unaccelerated_single_core().label()
+        );
+        assert!(SystemConfig::fade_single_core().label().contains("FADE"));
+    }
+}

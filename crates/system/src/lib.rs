@@ -1,0 +1,43 @@
+//! # fade-system
+//!
+//! Composed monitoring systems and the experiment harness — the crate
+//! that produces every number in the paper's evaluation (Section 7).
+//!
+//! A [`MonitoringSystem`] wires together:
+//!
+//! * an application hardware thread (a [`fade_trace::SyntheticProgram`]
+//!   retiring through a [`fade_sim::CommitModel`]),
+//! * optionally the FADE accelerator ([`fade::Fade`]),
+//! * a monitor hardware thread executing software handlers
+//!   ([`fade_sim::HandlerExec`]),
+//! * the decoupling queue(s) of Figure 1,
+//!
+//! in one of the evaluated configurations (Figure 8): single-core
+//! dual-threaded or two-core, unaccelerated or FADE-enabled, on any of
+//! the three core microarchitectures of Table 1.
+//!
+//! [`run_experiment`] performs a warmup + measure run (SMARTS-flavoured
+//! sampling) and returns a [`RunStats`] with everything the paper
+//! plots: slowdown, filtering ratio, queue-occupancy CDFs, unfiltered
+//! distances and burst sizes, handler-class time breakdowns, and
+//! two-core utilization.
+//!
+//! # Example
+//!
+//! ```
+//! use fade_system::{run_experiment, SystemConfig};
+//! use fade_trace::bench;
+//!
+//! let bench = bench::by_name("mcf").unwrap();
+//! let cfg = SystemConfig::fade_single_core();
+//! let stats = run_experiment(&bench, "AddrCheck", &cfg, 20_000, 50_000);
+//! assert!(stats.slowdown() >= 1.0);
+//! ```
+
+pub mod config;
+pub mod run;
+pub mod system;
+
+pub use config::{Accel, FadeTweaks, SystemConfig, Topology};
+pub use run::{ClassInstrs, RunStats, UtilBreakdown};
+pub use system::{baseline_cycles, run_experiment, MonitoringSystem};

@@ -1,0 +1,736 @@
+//! The unified cycle-level monitoring-system engine.
+//!
+//! One engine implements all four evaluated organizations (unaccelerated
+//! / FADE-enabled × single-core dual-threaded / two-core): per cycle it
+//! advances the application commit process, moves monitored events into
+//! the decoupling queue, runs the accelerator (if present), and executes
+//! software handlers on the monitor hardware thread — with issue
+//! bandwidth shared through [`SmtArbiter`] on the single-core system.
+
+use fade::{Fade, FadeConfig, FadeStats, UnfilteredEvent};
+use fade_isa::{instr_event_for, AppEvent, HighLevelEvent};
+use fade_monitors::{monitor_by_name, EventClass, Monitor};
+use fade_shadow::MetadataState;
+use fade_sim::{BoundedQueue, CommitModel, CoreKind, HandlerExec, LogHistogram, Rng, SmtArbiter};
+use fade_trace::{BenchProfile, SyntheticProgram, TraceRecord};
+
+use crate::config::{Accel, SystemConfig, Topology};
+use crate::run::{ClassInstrs, RunStats, UtilBreakdown};
+
+/// Gap (in filterable events) that separates unfiltered bursts
+/// (Section 3.4 defines a burst as unfiltered events separated by at
+/// most 16 filterable events).
+const BURST_GAP: u64 = 16;
+
+/// A complete monitoring system under simulation.
+pub struct MonitoringSystem {
+    cfg: SystemConfig,
+    monitor: Box<dyn Monitor>,
+    gen: SyntheticProgram,
+    commit: CommitModel,
+    arbiter: SmtArbiter,
+    handler: HandlerExec,
+    state: MetadataState,
+    fade: Option<Fade>,
+    sw_queue: BoundedQueue<AppEvent>,
+    pending: Option<TraceRecord>,
+    cur_token: Option<u64>,
+
+    // Measurement window.
+    measuring: bool,
+    m_app_instrs: u64,
+    m_monitored: u64,
+    m_stack: u64,
+    m_high: u64,
+    m_cycles: u64,
+    class_instrs: ClassInstrs,
+    occupancy: LogHistogram,
+    distances: LogHistogram,
+    bursts: LogHistogram,
+    util: UtilBreakdown,
+    fade_snapshot: Option<FadeStats>,
+
+    // Unfiltered distance/burst trackers (run continuously).
+    since_uf: u64,
+    cur_burst: u64,
+    /// The app thread was backpressured last cycle: it occupies no
+    /// issue slots this cycle (an SMT thread stalled on a full queue
+    /// does not compete for bandwidth).
+    last_blocked: bool,
+
+    total_instrs: u64,
+    total_cycles: u64,
+}
+
+impl MonitoringSystem {
+    /// Builds a system for a benchmark and monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitor_name` is unknown or the monitor's FADE
+    /// program fails validation.
+    pub fn new(bench: &BenchProfile, monitor_name: &str, cfg: &SystemConfig) -> Self {
+        let monitor = monitor_by_name(monitor_name)
+            .unwrap_or_else(|| panic!("unknown monitor {monitor_name}"));
+        Self::with_monitor(bench, monitor, cfg)
+    }
+
+    /// Like [`MonitoringSystem::with_monitor`], but with a caller-built
+    /// FADE program (ablations: SUU removal, alternative event-table
+    /// encodings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation or the config is
+    /// unaccelerated.
+    pub fn with_program(
+        bench: &BenchProfile,
+        monitor: Box<dyn Monitor>,
+        program: fade::FadeProgram,
+        cfg: &SystemConfig,
+    ) -> Self {
+        let mut sys = Self::with_monitor(bench, monitor, cfg);
+        let Accel::Fade(mode) = cfg.accel else {
+            panic!("with_program requires a FADE-enabled configuration");
+        };
+        let mut fc = FadeConfig::paper(mode);
+        fc.event_queue = cfg.event_queue;
+        fc.unfiltered_queue = cfg.unfiltered_queue;
+        sys.fade = Some(Fade::new(fc, program));
+        sys
+    }
+
+    /// Builds a system around a caller-provided monitor — the hook for
+    /// user-defined tools (FADE is a *programmable* accelerator; any
+    /// [`Monitor`] implementation can be loaded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor's FADE program fails validation.
+    pub fn with_monitor(
+        bench: &BenchProfile,
+        monitor: Box<dyn Monitor>,
+        cfg: &SystemConfig,
+    ) -> Self {
+        let program = monitor.program();
+        let mut state = MetadataState::new(program.md_map());
+        monitor.init_state(&mut state);
+        let fade = match cfg.accel {
+            Accel::None => None,
+            Accel::Fade(mode) => {
+                let mut fc = FadeConfig::paper(mode);
+                fc.event_queue = cfg.event_queue;
+                fc.unfiltered_queue = cfg.unfiltered_queue;
+                if let Some(bytes) = cfg.tweaks.md_cache_bytes {
+                    fc.md_cache = fade::TagCacheConfig {
+                        size_bytes: bytes,
+                        ways: 2,
+                        line_bytes: 64,
+                    };
+                }
+                if let Some(n) = cfg.tweaks.tlb_entries {
+                    fc.tlb_entries = n;
+                }
+                if let Some(n) = cfg.tweaks.fsq_entries {
+                    fc.fsq_entries = n;
+                }
+                if cfg.ideal_consumer {
+                    // Section 3.2's queueing study: the accelerator
+                    // consumes exactly one event per cycle with no
+                    // metadata-miss, drain or backpressure stalls.
+                    fc.tlb_miss_penalty = 0;
+                    fc.blocking_resume_latency = 0;
+                    fc.mem_lat = fade_sim::MemLatency { l1: 0, l2: 0, dram: 0 };
+                    fc.unfiltered_queue = fade_sim::QueueDepth::Unbounded;
+                }
+                Some(Fade::new(fc, program))
+            }
+        };
+        MonitoringSystem {
+            monitor,
+            gen: SyntheticProgram::new(bench, cfg.seed),
+            commit: CommitModel::new(cfg.core, bench.commit, Rng::seed_from(cfg.seed ^ 0xbace)),
+            arbiter: SmtArbiter::new(),
+            handler: HandlerExec::new(cfg.core),
+            state,
+            fade,
+            sw_queue: BoundedQueue::new(cfg.event_queue),
+            pending: None,
+            cur_token: None,
+            measuring: false,
+            m_app_instrs: 0,
+            m_monitored: 0,
+            m_stack: 0,
+            m_high: 0,
+            m_cycles: 0,
+            class_instrs: ClassInstrs::default(),
+            occupancy: LogHistogram::new(),
+            distances: LogHistogram::new(),
+            bursts: LogHistogram::new(),
+            util: UtilBreakdown::default(),
+            fade_snapshot: None,
+            since_uf: 0,
+            cur_burst: 0,
+            last_blocked: false,
+            total_instrs: 0,
+            total_cycles: 0,
+            cfg: *cfg,
+        }
+    }
+
+    /// The monitor driving this system (bug reports, etc.).
+    pub fn monitor(&self) -> &dyn Monitor {
+        self.monitor.as_ref()
+    }
+
+    /// The current metadata state (read access for examples/tests).
+    pub fn state(&self) -> &MetadataState {
+        &self.state
+    }
+
+    /// Total cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total application instructions retired so far.
+    pub fn instrs(&self) -> u64 {
+        self.total_instrs
+    }
+
+    /// Starts the measurement window: counters collected from now on.
+    pub fn start_measure(&mut self) {
+        self.measuring = true;
+        self.m_app_instrs = 0;
+        self.m_monitored = 0;
+        self.m_stack = 0;
+        self.m_high = 0;
+        self.m_cycles = 0;
+        self.class_instrs = ClassInstrs::default();
+        self.occupancy = LogHistogram::new();
+        self.distances = LogHistogram::new();
+        self.bursts = LogHistogram::new();
+        self.util = UtilBreakdown::default();
+        self.fade_snapshot = self.fade.as_ref().map(|f| *f.stats());
+    }
+
+    /// Runs until `n` more application instructions retire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to make forward progress (a deadlock
+    /// would be a simulator bug).
+    pub fn run_instrs(&mut self, n: u64) {
+        let target = self.total_instrs + n;
+        let cycle_cap = self.total_cycles + 200_000 + n * 400;
+        while self.total_instrs < target {
+            self.step();
+            assert!(
+                self.total_cycles < cycle_cap,
+                "no forward progress: {} instrs after {} cycles",
+                self.total_instrs,
+                self.total_cycles
+            );
+        }
+    }
+
+    /// Advances the system one cycle.
+    pub fn step(&mut self) {
+        self.total_cycles += 1;
+        let monitor_busy_at_start = self.handler.busy();
+
+        // ---- Application thread: commit and enqueue. ----
+        self.commit.tick();
+        let want = self.commit.retirable();
+        let smt_want = if self.last_blocked { 0 } else { want };
+        let width = self.cfg.core.width();
+        let (mut app_slots, monitor_slots) = match self.cfg.topology {
+            Topology::TwoCore => (want, width),
+            Topology::SingleCoreDualThread => {
+                self.arbiter
+                    .arbitrate(width, smt_want, monitor_busy_at_start)
+            }
+        };
+        if self.last_blocked {
+            // Retry the blocked enqueue without consuming issue slots.
+            app_slots = app_slots.max(1);
+        }
+        let mut retired = 0u32;
+        let mut blocked = false;
+        while retired < app_slots {
+            let rec = match self.pending.take() {
+                Some(r) => r,
+                None => self.gen.next_record(),
+            };
+            match rec {
+                TraceRecord::Instr(i) => {
+                    if self.monitor.selects(&i) {
+                        let ev = AppEvent::Instr(instr_event_for(&i));
+                        if self.try_enqueue(ev).is_err() {
+                            self.pending = Some(rec);
+                            blocked = true;
+                            break;
+                        }
+                        if self.measuring {
+                            self.m_monitored += 1;
+                        }
+                    }
+                    retired += 1;
+                    self.total_instrs += 1;
+                    if self.measuring {
+                        self.m_app_instrs += 1;
+                    }
+                }
+                TraceRecord::Stack(s) => {
+                    if self.monitor.monitors_stack() {
+                        if self.try_enqueue(AppEvent::StackUpdate(s)).is_err() {
+                            self.pending = Some(rec);
+                            blocked = true;
+                            break;
+                        }
+                        if self.measuring {
+                            self.m_stack += 1;
+                        }
+                    }
+                }
+                TraceRecord::High(h) => {
+                    if self.try_enqueue(AppEvent::HighLevel(h)).is_err() {
+                        self.pending = Some(rec);
+                        blocked = true;
+                        break;
+                    }
+                    if self.measuring {
+                        self.m_high += 1;
+                    }
+                }
+            }
+        }
+        self.commit.retire(retired);
+        self.last_blocked = blocked;
+
+        // ---- Monitoring side. ----
+        match self.fade.take() {
+            Some(mut fade) => {
+                let filtered_before = fade.stats().filtered;
+                let tick = fade.tick(&mut self.state);
+                if fade.stats().filtered > filtered_before {
+                    self.since_uf += 1;
+                }
+                if let Some(uf) = tick.dispatched {
+                    self.on_dispatch(&mut fade, uf);
+                }
+                // Monitor core consumes the unfiltered queue.
+                if !self.handler.busy() {
+                    if let Some(uf) = fade.pop_unfiltered() {
+                        let cost = if self.cfg.ideal_consumer {
+                            1
+                        } else {
+                            self.unfiltered_cost(&uf).max(1)
+                        };
+                        self.handler.start(cost);
+                        self.cur_token = Some(uf.token);
+                        if self.measuring {
+                            match uf.event {
+                                AppEvent::Instr(_) => {
+                                    if uf.partial_hit {
+                                        self.class_instrs.partial += cost as u64;
+                                    } else {
+                                        self.class_instrs.complex += cost as u64;
+                                    }
+                                }
+                                AppEvent::HighLevel(_) => {
+                                    self.class_instrs.high_level += cost as u64;
+                                }
+                                AppEvent::StackUpdate(_) => {
+                                    self.class_instrs.stack += cost as u64;
+                                }
+                            }
+                        }
+                    }
+                }
+                if self.handler.busy() && self.handler.tick_slots(monitor_slots) {
+                    if let Some(t) = self.cur_token.take() {
+                        fade.handler_completed(t);
+                    }
+                }
+                if self.measuring {
+                    self.occupancy.record(fade.event_queue_len() as u64);
+                }
+                self.fade = Some(fade);
+            }
+            None => {
+                // Unaccelerated: the monitor thread handles every event.
+                if !self.handler.busy() {
+                    if let Some(ev) = self.sw_queue.pop() {
+                        let cost = self.software_handle(ev).max(1);
+                        self.handler.start(cost);
+                    }
+                }
+                if self.handler.busy() {
+                    self.handler.tick_slots(monitor_slots);
+                }
+                if self.measuring {
+                    self.occupancy.record(self.sw_queue.len() as u64);
+                }
+            }
+        }
+
+        // ---- Utilization classification (Figure 11(b)). ----
+        if self.measuring {
+            self.m_cycles += 1;
+            let monitor_busy = self.handler.busy();
+            if monitor_busy && blocked {
+                self.util.app_idle += 1;
+            } else if !monitor_busy {
+                self.util.monitor_idle += 1;
+            } else {
+                self.util.both += 1;
+            }
+        }
+    }
+
+    fn try_enqueue(&mut self, ev: AppEvent) -> Result<(), ()> {
+        match &mut self.fade {
+            Some(f) => f.enqueue(ev).map_err(|_| ()),
+            None => self.sw_queue.push(ev).map_err(|_| ()),
+        }
+    }
+
+    /// Handles a dispatch from the accelerator: functional handler
+    /// effects apply now (program order); the monitor core pays the
+    /// execution time when it pops the queue.
+    fn on_dispatch(&mut self, fade: &mut Fade, uf: UnfilteredEvent) {
+        match uf.event {
+            AppEvent::Instr(ev) => {
+                self.monitor.apply_instr(&ev, &mut self.state);
+                // Distance/burst statistics track events needing the
+                // *complex* handler; partial hits behave like filtered
+                // events for the burstiness analysis of Section 3.4.
+                if uf.partial_hit {
+                    self.since_uf += 1;
+                } else {
+                    self.note_unfiltered();
+                }
+            }
+            AppEvent::HighLevel(h) => {
+                self.monitor.apply_high_level(&h, &mut self.state);
+                if let HighLevelEvent::ThreadSwitch { tid } = h {
+                    for (id, v) in self.monitor.on_thread_switch(tid) {
+                        fade.write_invariant(id, v);
+                    }
+                }
+            }
+            AppEvent::StackUpdate(ev) => {
+                // Only reachable when the SUU is disabled (ablation).
+                self.monitor.apply_stack_update(&ev, &mut self.state);
+            }
+        }
+    }
+
+    /// Distance/burst accounting for one unfiltered instruction event.
+    fn note_unfiltered(&mut self) {
+        if self.measuring {
+            self.distances.record(self.since_uf);
+        }
+        if self.cur_burst > 0 && self.since_uf <= BURST_GAP {
+            self.cur_burst += 1;
+        } else {
+            if self.cur_burst > 0 && self.measuring {
+                self.bursts.record(self.cur_burst);
+            }
+            self.cur_burst = 1;
+        }
+        self.since_uf = 0;
+    }
+
+    fn unfiltered_cost(&self, uf: &UnfilteredEvent) -> u32 {
+        match uf.event {
+            AppEvent::Instr(_) => {
+                let c = self.monitor.costs();
+                if uf.partial_hit {
+                    c.partial_short
+                } else {
+                    c.complex
+                }
+            }
+            AppEvent::HighLevel(h) => self.monitor.high_level_cost(&h),
+            AppEvent::StackUpdate(s) => self.monitor.stack_cost(&s),
+        }
+    }
+
+    /// Software (unaccelerated) handling of one event: classification,
+    /// functional effect, cost.
+    fn software_handle(&mut self, ev: AppEvent) -> u32 {
+        match ev {
+            AppEvent::Instr(iev) => {
+                let class = self.monitor.classify(&iev, &self.state);
+                self.monitor.apply_instr(&iev, &mut self.state);
+                // In software there is no hardware pre-check: the
+                // "partial short" path still executes the check itself
+                // (costed like a clean check).
+                let cost = match class {
+                    EventClass::PartialShort => self.monitor.costs().cc,
+                    c => self.monitor.costs().for_class(c),
+                };
+                if self.measuring {
+                    match class {
+                        EventClass::CleanCheck => self.class_instrs.cc += cost as u64,
+                        EventClass::RedundantUpdate => self.class_instrs.ru += cost as u64,
+                        EventClass::PartialShort => self.class_instrs.partial += cost as u64,
+                        EventClass::Complex => self.class_instrs.complex += cost as u64,
+                    }
+                }
+                if class == EventClass::Complex {
+                    self.note_unfiltered();
+                } else {
+                    self.since_uf += 1;
+                }
+                cost
+            }
+            AppEvent::StackUpdate(s) => {
+                self.monitor.apply_stack_update(&s, &mut self.state);
+                let cost = self.monitor.stack_cost(&s);
+                if self.measuring {
+                    self.class_instrs.stack += cost as u64;
+                }
+                cost
+            }
+            AppEvent::HighLevel(h) => {
+                self.monitor.apply_high_level(&h, &mut self.state);
+                let cost = self.monitor.high_level_cost(&h);
+                if self.measuring {
+                    self.class_instrs.high_level += cost as u64;
+                }
+                cost
+            }
+        }
+    }
+
+    /// Collects the measured window into a [`RunStats`].
+    ///
+    /// `baseline_cycles` must come from [`baseline_cycles`] for the same
+    /// benchmark, core and seed.
+    pub fn finish(mut self, bench_name: &str, baseline: u64) -> RunStats {
+        // Close any open burst.
+        if self.cur_burst > 0 && self.measuring {
+            self.bursts.record(self.cur_burst);
+        }
+        let fade_delta = match (&self.fade, self.fade_snapshot) {
+            (Some(f), Some(snap)) => Some(fade_stats_delta(*f.stats(), snap)),
+            (Some(f), None) => Some(*f.stats()),
+            _ => None,
+        };
+        RunStats {
+            benchmark: bench_name.to_string(),
+            monitor: self.monitor.name().to_string(),
+            system: self.cfg.label(),
+            app_instrs: self.m_app_instrs,
+            monitored_events: self.m_monitored,
+            stack_events: self.m_stack,
+            high_level_events: self.m_high,
+            cycles: self.m_cycles,
+            baseline_cycles: baseline,
+            fade: fade_delta,
+            class_instrs: self.class_instrs,
+            occupancy: self.occupancy.clone(),
+            unfiltered_distances: self.distances.clone(),
+            burst_sizes: self.bursts.clone(),
+            util: self.util,
+        }
+    }
+}
+
+/// Per-field difference of two accelerator statistics snapshots.
+fn fade_stats_delta(now: FadeStats, then: FadeStats) -> FadeStats {
+    FadeStats {
+        instr_events: now.instr_events - then.instr_events,
+        filtered: now.filtered - then.filtered,
+        partial_hits: now.partial_hits - then.partial_hits,
+        unfiltered_instr: now.unfiltered_instr - then.unfiltered_instr,
+        stack_updates: now.stack_updates - then.stack_updates,
+        high_level: now.high_level - then.high_level,
+        shots: now.shots - then.shots,
+        busy_cycles: now.busy_cycles - then.busy_cycles,
+        idle_cycles: now.idle_cycles - then.idle_cycles,
+        blocking_stall_cycles: now.blocking_stall_cycles - then.blocking_stall_cycles,
+        ufq_full_stall_cycles: now.ufq_full_stall_cycles - then.ufq_full_stall_cycles,
+        fsq_full_stall_cycles: now.fsq_full_stall_cycles - then.fsq_full_stall_cycles,
+        drain_stall_cycles: now.drain_stall_cycles - then.drain_stall_cycles,
+        suu_busy_cycles: now.suu_busy_cycles - then.suu_busy_cycles,
+        md_miss_stall_cycles: now.md_miss_stall_cycles - then.md_miss_stall_cycles,
+        tlb_miss_stall_cycles: now.tlb_miss_stall_cycles - then.tlb_miss_stall_cycles,
+    }
+}
+
+/// Cycles an unmonitored (application-only) system needs to retire
+/// `measure` instructions after a `warmup`-instruction warmup, with the
+/// same core and commit-process seed as the monitored run.
+pub fn baseline_cycles(
+    bench: &BenchProfile,
+    core: CoreKind,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+) -> u64 {
+    let mut commit = CommitModel::new(core, bench.commit, Rng::seed_from(seed ^ 0xbace));
+    let mut instrs = 0u64;
+    let mut cycles_at_warmup = None;
+    let mut cycles = 0u64;
+    while instrs < warmup + measure {
+        commit.tick();
+        let n = commit.retirable();
+        commit.retire(n);
+        instrs += n as u64;
+        cycles += 1;
+        if cycles_at_warmup.is_none() && instrs >= warmup {
+            cycles_at_warmup = Some(cycles);
+        }
+    }
+    cycles - cycles_at_warmup.unwrap_or(0)
+}
+
+/// Runs one experiment: warmup, measure, and baseline comparison.
+pub fn run_experiment(
+    bench: &BenchProfile,
+    monitor_name: &str,
+    cfg: &SystemConfig,
+    warmup: u64,
+    measure: u64,
+) -> RunStats {
+    let mut sys = MonitoringSystem::new(bench, monitor_name, cfg);
+    sys.run_instrs(warmup);
+    sys.start_measure();
+    sys.run_instrs(measure);
+    let baseline = baseline_cycles(bench, cfg.core, cfg.seed, warmup, measure);
+    sys.finish(bench.name, baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use fade::FilterMode;
+    use fade_trace::bench;
+
+    const WARM: u64 = 5_000;
+    const MEAS: u64 = 20_000;
+
+    #[test]
+    fn fade_system_reaches_high_filtering_ratio_for_addrcheck() {
+        // hmmer has ~1200-cycle commit phases; a longer window keeps the
+        // baseline/monitored pairing statistically tight.
+        let b = bench::by_name("hmmer").unwrap();
+        let stats = run_experiment(
+            &b,
+            "AddrCheck",
+            &SystemConfig::fade_single_core(),
+            WARM,
+            8 * MEAS,
+        );
+        assert!(
+            stats.filtering_ratio() > 0.95,
+            "AddrCheck should filter nearly everything, got {}",
+            stats.filtering_ratio()
+        );
+        // Short windows pair baseline and monitored runs statistically,
+        // not cycle-exactly, so allow a little noise below 1.0.
+        assert!(stats.slowdown() >= 0.9, "got {}", stats.slowdown());
+        assert!(stats.slowdown() < 2.0, "got {}", stats.slowdown());
+    }
+
+    #[test]
+    fn unaccelerated_is_slower_than_fade() {
+        let b = bench::by_name("gcc").unwrap();
+        let fade = run_experiment(&b, "MemLeak", &SystemConfig::fade_single_core(), WARM, MEAS);
+        let soft = run_experiment(
+            &b,
+            "MemLeak",
+            &SystemConfig::unaccelerated_single_core(),
+            WARM,
+            MEAS,
+        );
+        assert!(
+            soft.slowdown() > fade.slowdown() * 1.3,
+            "unaccel {} vs fade {}",
+            soft.slowdown(),
+            fade.slowdown()
+        );
+    }
+
+    #[test]
+    fn non_blocking_beats_blocking_for_low_filter_monitors() {
+        let b = bench::by_name("gcc").unwrap();
+        let nb = run_experiment(&b, "MemLeak", &SystemConfig::fade_single_core(), WARM, MEAS);
+        let blocking = run_experiment(
+            &b,
+            "MemLeak",
+            &SystemConfig::fade_single_core().with_mode(FilterMode::Blocking),
+            WARM,
+            MEAS,
+        );
+        assert!(
+            blocking.slowdown() > nb.slowdown(),
+            "blocking {} vs nb {}",
+            blocking.slowdown(),
+            nb.slowdown()
+        );
+    }
+
+    #[test]
+    fn two_core_is_at_least_as_fast_as_single_core() {
+        let b = bench::by_name("astar").unwrap();
+        let one = run_experiment(&b, "MemLeak", &SystemConfig::fade_single_core(), WARM, MEAS);
+        let two = run_experiment(&b, "MemLeak", &SystemConfig::fade_two_core(), WARM, MEAS);
+        assert!(
+            two.slowdown() <= one.slowdown() * 1.05,
+            "two-core {} vs single {}",
+            two.slowdown(),
+            one.slowdown()
+        );
+        let (a, m, both) = two.util.percentages();
+        assert!((a + m + both - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let b = bench::by_name("mcf").unwrap();
+        let cfg = SystemConfig::fade_single_core();
+        let s1 = run_experiment(&b, "MemCheck", &cfg, WARM, MEAS);
+        let s2 = run_experiment(&b, "MemCheck", &cfg, WARM, MEAS);
+        assert_eq!(s1.cycles, s2.cycles);
+        assert_eq!(s1.monitored_events, s2.monitored_events);
+        assert_eq!(
+            s1.fade.unwrap().filtered,
+            s2.fade.unwrap().filtered
+        );
+    }
+
+    #[test]
+    fn atomcheck_runs_on_parallel_benchmarks() {
+        let b = bench::by_name("water").unwrap();
+        let stats = run_experiment(&b, "AtomCheck", &SystemConfig::fade_single_core(), WARM, MEAS);
+        let f = stats.fade.unwrap();
+        assert!(f.partial_hits > 0, "partial filtering must fire");
+        assert!(stats.filtering_ratio() > 0.5, "got {}", stats.filtering_ratio());
+    }
+
+    #[test]
+    fn monitored_ipc_is_below_app_ipc() {
+        let b = bench::by_name("bzip").unwrap();
+        let stats = run_experiment(&b, "AddrCheck", &SystemConfig::fade_single_core(), WARM, MEAS);
+        assert!(stats.monitored_ipc() < stats.app_ipc());
+        assert!(stats.monitored_ipc() > 0.0);
+    }
+
+    #[test]
+    fn baseline_matches_profile_ipc() {
+        let b = bench::by_name("hmmer").unwrap();
+        let base = baseline_cycles(&b, CoreKind::AggrOoO4, 1, 10_000, 100_000);
+        let ipc = 100_000.0 / base as f64;
+        assert!(
+            (ipc - b.commit.ipc_4way).abs() / b.commit.ipc_4way < 0.15,
+            "baseline ipc {ipc} vs profile {}",
+            b.commit.ipc_4way
+        );
+    }
+}

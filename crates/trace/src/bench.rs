@@ -1,0 +1,289 @@
+//! The calibrated benchmark suite.
+//!
+//! Eight SPEC2006-int stand-ins (used by AddrCheck, MemCheck, MemLeak,
+//! and — for the four benchmarks with taint propagation — TaintCheck)
+//! and five multithreaded stand-ins from SPLASH-2/PARSEC (used by
+//! AtomCheck), per Section 6 of the paper.
+//!
+//! Knob values are calibrated so the per-benchmark statistics the paper
+//! reports emerge from the generator: monitored IPC (Figure 2), queue
+//! occupancy (Figure 3), filtering ratios (Table 2; e.g. astar and gcc
+//! run MemLeak at ~70% while the suite averages 87%).
+
+use crate::profile::BenchProfile;
+
+/// The eight SPEC2006-int stand-ins.
+pub fn spec_int_suite() -> Vec<BenchProfile> {
+    vec![
+        astar(),
+        bzip(),
+        gcc(),
+        gobmk(),
+        hmmer(),
+        libq(),
+        mcf(),
+        omnet(),
+    ]
+}
+
+/// The four benchmarks with taint propagation (Section 6), with taint
+/// knobs enabled. Named with a `-taint` suffix.
+pub fn taint_suite() -> Vec<BenchProfile> {
+    [astar(), bzip(), mcf(), omnet()]
+        .into_iter()
+        .map(|p| {
+            let mut t = p;
+            t.name = match t.name {
+                "astar" => "astar-taint",
+                "bzip" => "bzip-taint",
+                "mcf" => "mcf-taint",
+                "omnet" => "omnet-taint",
+                other => other,
+            };
+            t.taint_density = 0.018;
+            t.taint_source_rate = 0.00035;
+            t
+        })
+        .collect()
+}
+
+/// The five multithreaded stand-ins for AtomCheck (water and ocean from
+/// SPLASH-2; blackscholes, streamcluster and fluidanimate from PARSEC),
+/// four threads time-sliced on one core.
+pub fn parallel_suite() -> Vec<BenchProfile> {
+    vec![
+        water(),
+        ocean(),
+        blackscholes(),
+        streamcluster(),
+        fluidanimate(),
+    ]
+}
+
+/// Looks a profile up by name across all three suites.
+pub fn by_name(name: &str) -> Option<BenchProfile> {
+    spec_int_suite()
+        .into_iter()
+        .chain(taint_suite())
+        .chain(parallel_suite())
+        .find(|p| p.name == name)
+}
+
+fn astar() -> BenchProfile {
+    let mut p = BenchProfile::base("astar", 1.00, 300.0);
+    // Path-finding: pointer-chasing over node structures; frequent
+    // short calls. Low MemLeak filtering ratio (paper: ~70%).
+    p.pointer_density = 0.095;
+    p.call_rate = 0.011;
+    p.frame_mean = 96;
+    p.malloc_rate = 0.0007;
+    p.mix.load = 0.27;
+    p.mix.int_alu = 0.28;
+    p
+}
+
+fn bzip() -> BenchProfile {
+    let mut p = BenchProfile::base("bzip", 1.70, 900.0);
+    // Compression: high IPC, long dependence-free runs; monitored IPC
+    // above 1.0 for propagation trackers (Figure 3: queueing cannot
+    // help).
+    p.pointer_density = 0.012;
+    p.call_rate = 0.006;
+    p.malloc_rate = 0.0003;
+    p.mix.load = 0.26;
+    p.mix.store = 0.12;
+    p
+}
+
+fn gcc() -> BenchProfile {
+    let mut p = BenchProfile::base("gcc", 1.10, 500.0);
+    // Compiler: allocation-heavy, call-heavy, pointer-rich IR walks.
+    // Low MemLeak filtering ratio and frequent queue drains (paper
+    // singles out gcc's 3.3x FADE slowdown for MemLeak).
+    p.pointer_density = 0.105;
+    p.call_rate = 0.013;
+    p.frame_mean = 144;
+    p.malloc_rate = 0.0012;
+    p
+}
+
+fn gobmk() -> BenchProfile {
+    let mut p = BenchProfile::base("gobmk", 0.90, 700.0);
+    // Game tree search: deep recursion, moderate pointer use.
+    p.pointer_density = 0.018;
+    p.call_rate = 0.009;
+    p.frame_mean = 160;
+    p
+}
+
+fn hmmer() -> BenchProfile {
+    let mut p = BenchProfile::base("hmmer", 1.90, 1200.0);
+    // HMM scoring: hot loops over tables, few calls, few pointers.
+    p.pointer_density = 0.010;
+    p.call_rate = 0.004;
+    p.malloc_rate = 0.0002;
+    p.mix.load = 0.26;
+    p.mix.int_alu = 0.26;
+    p.mix.fp_alu = 0.12;
+    p.mix.branch = 0.10;
+    p.mix.nop = 0.06;
+    p
+}
+
+fn libq() -> BenchProfile {
+    let mut p = BenchProfile::base("libq", 1.30, 1600.0);
+    // Quantum simulation: streaming over a large array.
+    p.pointer_density = 0.010;
+    p.call_rate = 0.003;
+    p.malloc_rate = 0.0001;
+    p.locality = 0.70;
+    p
+}
+
+fn mcf() -> BenchProfile {
+    let mut p = BenchProfile::base("mcf", 0.35, 60.0);
+    // Memory bound: low IPC, short commit bursts, large working set.
+    p.pointer_density = 0.020;
+    p.call_rate = 0.006;
+    p.locality = 0.60;
+    p.mix.load = 0.31;
+    p
+}
+
+fn omnet() -> BenchProfile {
+    let mut p = BenchProfile::base("omnet", 1.00, 4000.0);
+    // Discrete-event simulation: allocation-heavy with long
+    // cache-resident phases — the deepest event-queue occupancy in
+    // Figure 3(b).
+    p.pointer_density = 0.020;
+    p.call_rate = 0.007;
+    p.malloc_rate = 0.0016;
+    p.alloc_mean = 96;
+    p
+}
+
+fn water() -> BenchProfile {
+    let mut p = BenchProfile::base("water", 1.10, 600.0);
+    p.threads = 4;
+    p.sharing = 0.50;
+    p.stack_frac = 0.25;
+    p.timeslice = 2500;
+    p.mix.fp_alu = 0.14;
+    p.mix.int_alu = 0.22;
+    p.mix.load = 0.24;
+    p.call_rate = 0.008;
+    p
+}
+
+fn ocean() -> BenchProfile {
+    let mut p = BenchProfile::base("ocean", 0.80, 250.0);
+    p.threads = 4;
+    p.sharing = 0.70;
+    p.stack_frac = 0.25;
+    p.timeslice = 2500;
+    p.mix.fp_alu = 0.16;
+    p.mix.int_alu = 0.20;
+    p.mix.load = 0.28;
+    p.locality = 0.65;
+    p
+}
+
+fn blackscholes() -> BenchProfile {
+    let mut p = BenchProfile::base("blacks.", 1.50, 900.0);
+    p.threads = 4;
+    p.sharing = 0.20;
+    p.stack_frac = 0.25;
+    p.timeslice = 2500; // embarrassingly parallel
+    p.mix.fp_alu = 0.20;
+    p.mix.int_alu = 0.20;
+    p.mix.load = 0.22;
+    p.call_rate = 0.005;
+    p
+}
+
+fn streamcluster() -> BenchProfile {
+    let mut p = BenchProfile::base("stream.", 1.00, 400.0);
+    p.threads = 4;
+    p.sharing = 0.65;
+    p.stack_frac = 0.25;
+    p.timeslice = 2500;
+    p.mix.load = 0.30;
+    p.locality = 0.70;
+    p
+}
+
+fn fluidanimate() -> BenchProfile {
+    let mut p = BenchProfile::base("fluid.", 1.20, 500.0);
+    p.threads = 4;
+    p.sharing = 0.55;
+    p.stack_frac = 0.25;
+    p.timeslice = 2500;
+    p.mix.fp_alu = 0.15;
+    p.mix.int_alu = 0.22;
+    p.mix.load = 0.25;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suites_have_paper_sizes() {
+        assert_eq!(spec_int_suite().len(), 8);
+        assert_eq!(taint_suite().len(), 4);
+        assert_eq!(parallel_suite().len(), 5);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = spec_int_suite()
+            .iter()
+            .chain(&taint_suite())
+            .chain(&parallel_suite())
+            .map(|p| p.name)
+            .collect();
+        let set: HashSet<&&str> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn by_name_finds_every_benchmark() {
+        for p in spec_int_suite().iter().chain(&parallel_suite()) {
+            assert!(by_name(p.name).is_some(), "{} missing", p.name);
+        }
+        assert!(by_name("astar-taint").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn taint_suite_has_taint_knobs() {
+        for p in taint_suite() {
+            assert!(p.taint_density > 0.0);
+            assert!(p.taint_source_rate > 0.0);
+        }
+        // The plain suite does not.
+        for p in spec_int_suite() {
+            assert_eq!(p.taint_density, 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_suite_is_multithreaded() {
+        for p in parallel_suite() {
+            assert_eq!(p.threads, 4, "{}", p.name);
+            assert!(p.sharing > 0.0);
+        }
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        // The calibration must differentiate benchmarks.
+        let ipcs: HashSet<u64> = spec_int_suite()
+            .iter()
+            .map(|p| (p.commit.ipc_4way * 100.0) as u64)
+            .collect();
+        assert!(ipcs.len() >= 6);
+    }
+}

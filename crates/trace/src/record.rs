@@ -1,0 +1,355 @@
+//! Trace recording and replay.
+//!
+//! Serializes a [`TraceRecord`] stream to a compact binary format and
+//! replays it later. Recorded traces freeze a workload independently of
+//! future profile/engine changes — useful for regression pinning, for
+//! sharing a workload between experiments, and for replaying the exact
+//! event stream into different system configurations.
+//!
+//! Format: little-endian, one tagged record after a 8-byte header
+//! (`b"FADETRC1"`). Instruction records encode class, operand presence
+//! bits, registers, memory operand, tid, and the pointer-result hint.
+
+use fade_isa::{
+    AppInstr, HighLevelEvent, InstrClass, MemRef, Reg, StackUpdateEvent, StackUpdateKind,
+    VirtAddr,
+};
+
+use crate::program::TraceRecord;
+
+/// Magic header of the trace format.
+pub const TRACE_MAGIC: &[u8; 8] = b"FADETRC1";
+
+/// An error while decoding a recorded trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// The header is missing or wrong.
+    BadMagic,
+    /// The stream ended inside a record.
+    Truncated,
+    /// An unknown record/class tag was found at the given offset.
+    BadTag {
+        /// Byte offset of the offending tag.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceDecodeError::BadMagic => write!(f, "not a FADE trace (bad magic)"),
+            TraceDecodeError::Truncated => write!(f, "trace ends inside a record"),
+            TraceDecodeError::BadTag { offset } => {
+                write!(f, "unknown tag at byte offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+fn class_tag(c: InstrClass) -> u8 {
+    match c {
+        InstrClass::Load => 0,
+        InstrClass::Store => 1,
+        InstrClass::IntAlu => 2,
+        InstrClass::IntMove => 3,
+        InstrClass::IntMul => 4,
+        InstrClass::FpAlu => 5,
+        InstrClass::Branch => 6,
+        InstrClass::Jump => 7,
+        InstrClass::Call => 8,
+        InstrClass::Return => 9,
+        InstrClass::Nop => 10,
+    }
+}
+
+fn class_from_tag(t: u8) -> Option<InstrClass> {
+    Some(match t {
+        0 => InstrClass::Load,
+        1 => InstrClass::Store,
+        2 => InstrClass::IntAlu,
+        3 => InstrClass::IntMove,
+        4 => InstrClass::IntMul,
+        5 => InstrClass::FpAlu,
+        6 => InstrClass::Branch,
+        7 => InstrClass::Jump,
+        8 => InstrClass::Call,
+        9 => InstrClass::Return,
+        10 => InstrClass::Nop,
+        _ => return None,
+    })
+}
+
+/// Serializes records into a byte buffer.
+///
+/// # Example
+///
+/// ```
+/// use fade_trace::{bench, record, SyntheticProgram};
+///
+/// let p = bench::by_name("mcf").unwrap();
+/// let mut prog = SyntheticProgram::new(&p, 1);
+/// let records: Vec<_> = (0..100).map(|_| prog.next_record()).collect();
+/// let bytes = record::encode(&records);
+/// let back = record::decode(&bytes).unwrap();
+/// assert_eq!(records, back);
+/// ```
+pub fn encode(records: &[TraceRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + records.len() * 16);
+    out.extend_from_slice(TRACE_MAGIC);
+    for r in records {
+        match r {
+            TraceRecord::Instr(i) => {
+                out.push(0u8);
+                out.push(class_tag(i.class));
+                out.extend_from_slice(&i.pc.raw().to_le_bytes());
+                let mut flags = 0u8;
+                if i.src1.is_some() {
+                    flags |= 1;
+                }
+                if i.src2.is_some() {
+                    flags |= 2;
+                }
+                if i.dest.is_some() {
+                    flags |= 4;
+                }
+                if i.mem.is_some() {
+                    flags |= 8;
+                }
+                if i.result_ptr {
+                    flags |= 16;
+                }
+                out.push(flags);
+                out.push(i.src1.map(Reg::index).unwrap_or(0));
+                out.push(i.src2.map(Reg::index).unwrap_or(0));
+                out.push(i.dest.map(Reg::index).unwrap_or(0));
+                out.push(i.tid);
+                if let Some(m) = i.mem {
+                    out.extend_from_slice(&m.addr.raw().to_le_bytes());
+                    out.push(m.size);
+                }
+            }
+            TraceRecord::Stack(s) => {
+                out.push(1u8);
+                out.push(match s.kind {
+                    StackUpdateKind::Call => 0,
+                    StackUpdateKind::Return => 1,
+                });
+                out.extend_from_slice(&s.base.raw().to_le_bytes());
+                out.extend_from_slice(&s.len.to_le_bytes());
+                out.push(s.tid);
+            }
+            TraceRecord::High(h) => {
+                out.push(2u8);
+                match *h {
+                    HighLevelEvent::Malloc { base, len, ctx } => {
+                        out.push(0);
+                        out.extend_from_slice(&base.raw().to_le_bytes());
+                        out.extend_from_slice(&len.to_le_bytes());
+                        out.extend_from_slice(&ctx.to_le_bytes());
+                    }
+                    HighLevelEvent::Free { base, len } => {
+                        out.push(1);
+                        out.extend_from_slice(&base.raw().to_le_bytes());
+                        out.extend_from_slice(&len.to_le_bytes());
+                    }
+                    HighLevelEvent::TaintSource { base, len } => {
+                        out.push(2);
+                        out.extend_from_slice(&base.raw().to_le_bytes());
+                        out.extend_from_slice(&len.to_le_bytes());
+                    }
+                    HighLevelEvent::ThreadSwitch { tid } => {
+                        out.push(3);
+                        out.push(tid);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, TraceDecodeError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(TraceDecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceDecodeError> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + 4)
+            .ok_or(TraceDecodeError::Truncated)?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+}
+
+/// Decodes a recorded trace.
+///
+/// # Errors
+///
+/// Returns a [`TraceDecodeError`] on a bad header, truncated stream, or
+/// unknown tag.
+pub fn decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceDecodeError> {
+    if bytes.len() < 8 || &bytes[..8] != TRACE_MAGIC {
+        return Err(TraceDecodeError::BadMagic);
+    }
+    let mut c = Cursor {
+        buf: bytes,
+        pos: 8,
+    };
+    let mut out = Vec::new();
+    while c.pos < bytes.len() {
+        let tag_offset = c.pos;
+        match c.u8()? {
+            0 => {
+                let class = class_from_tag(c.u8()?)
+                    .ok_or(TraceDecodeError::BadTag { offset: tag_offset })?;
+                let pc = VirtAddr::new(c.u32()?);
+                let flags = c.u8()?;
+                let s1 = c.u8()?;
+                let s2 = c.u8()?;
+                let d = c.u8()?;
+                let tid = c.u8()?;
+                let mut i = AppInstr::new(pc, class)
+                    .with_tid(tid)
+                    .with_result_ptr(flags & 16 != 0);
+                if flags & 1 != 0 {
+                    i = i.with_src1(Reg::new(s1));
+                }
+                if flags & 2 != 0 {
+                    i = i.with_src2(Reg::new(s2));
+                }
+                if flags & 4 != 0 {
+                    i = i.with_dest(Reg::new(d));
+                }
+                if flags & 8 != 0 {
+                    let addr = VirtAddr::new(c.u32()?);
+                    let size = c.u8()?;
+                    i = i.with_mem(MemRef { addr, size });
+                }
+                out.push(TraceRecord::Instr(i));
+            }
+            1 => {
+                let kind = match c.u8()? {
+                    0 => StackUpdateKind::Call,
+                    1 => StackUpdateKind::Return,
+                    _ => return Err(TraceDecodeError::BadTag { offset: tag_offset }),
+                };
+                let base = VirtAddr::new(c.u32()?);
+                let len = c.u32()?;
+                let tid = c.u8()?;
+                out.push(TraceRecord::Stack(StackUpdateEvent {
+                    base,
+                    len,
+                    kind,
+                    tid,
+                }));
+            }
+            2 => {
+                let h = match c.u8()? {
+                    0 => HighLevelEvent::Malloc {
+                        base: VirtAddr::new(c.u32()?),
+                        len: c.u32()?,
+                        ctx: c.u32()?,
+                    },
+                    1 => HighLevelEvent::Free {
+                        base: VirtAddr::new(c.u32()?),
+                        len: c.u32()?,
+                    },
+                    2 => HighLevelEvent::TaintSource {
+                        base: VirtAddr::new(c.u32()?),
+                        len: c.u32()?,
+                    },
+                    3 => HighLevelEvent::ThreadSwitch { tid: c.u8()? },
+                    _ => return Err(TraceDecodeError::BadTag { offset: tag_offset }),
+                };
+                out.push(TraceRecord::High(h));
+            }
+            _ => return Err(TraceDecodeError::BadTag { offset: tag_offset }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+    use crate::program::SyntheticProgram;
+
+    fn sample(name: &str, n: usize) -> Vec<TraceRecord> {
+        let p = bench::by_name(name).unwrap();
+        let mut prog = SyntheticProgram::new(&p, 42);
+        (0..n).map(|_| prog.next_record()).collect()
+    }
+
+    #[test]
+    fn round_trip_single_threaded() {
+        let records = sample("gcc", 20_000);
+        let bytes = encode(&records);
+        assert_eq!(decode(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn round_trip_parallel_with_switches() {
+        let records = sample("water", 20_000);
+        let bytes = encode(&records);
+        assert_eq!(decode(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = encode(&[]);
+        assert_eq!(bytes.len(), 8);
+        assert!(decode(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"NOTATRACE"), Err(TraceDecodeError::BadMagic));
+        assert_eq!(decode(b""), Err(TraceDecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let records = sample("mcf", 100);
+        let bytes = encode(&records);
+        for cut in [bytes.len() - 1, bytes.len() - 3, 9] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceDecodeError::Truncated | TraceDecodeError::BadTag { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_reports_offset() {
+        let mut bytes = encode(&[]);
+        bytes.push(9); // unknown record tag
+        assert_eq!(
+            decode(&bytes),
+            Err(TraceDecodeError::BadTag { offset: 8 })
+        );
+    }
+
+    #[test]
+    fn compact_encoding() {
+        let records = sample("gcc", 10_000);
+        let bytes = encode(&records);
+        let per_record = bytes.len() as f64 / records.len() as f64;
+        assert!(per_record < 16.0, "got {per_record:.1} bytes/record");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the synthetic program engine: structural
+//! invariants every generated trace must satisfy.
+
+use fade_isa::{layout, HighLevelEvent, StackUpdateKind};
+use fade_trace::{bench, SyntheticProgram, TraceRecord};
+use proptest::prelude::*;
+
+fn benchmarks() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("astar"),
+        Just("gcc"),
+        Just("mcf"),
+        Just("omnet"),
+        Just("water"),
+        Just("astar-taint"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Memory operands are word-aligned and land in known segments;
+    /// stack frames nest properly (calls and returns balance as a
+    /// prefix); high-level events carry sane ranges.
+    #[test]
+    fn trace_structural_invariants(name in benchmarks(), seed in 0u64..1000) {
+        let profile = bench::by_name(name).unwrap();
+        let mut prog = SyntheticProgram::new(&profile, seed);
+        let mut depth: i64 = 0;
+        let mut records = 0u64;
+        while records < 30_000 {
+            records += 1;
+            match prog.next_record() {
+                TraceRecord::Instr(i) => {
+                    if let Some(m) = i.mem {
+                        prop_assert_eq!(m.addr.raw() % 4, 0, "unaligned access");
+                        prop_assert!(
+                            layout::is_stack(m.addr)
+                                || layout::is_heap(m.addr)
+                                || layout::is_globals(m.addr),
+                            "address {} outside all segments",
+                            m.addr
+                        );
+                    }
+                    prop_assert!((i.tid as usize) < profile.threads.max(1) as usize + 1);
+                }
+                TraceRecord::Stack(s) => {
+                    prop_assert!(layout::is_stack(s.base), "frame at {}", s.base);
+                    prop_assert!(s.len > 0 && s.len < (1 << 20));
+                    match s.kind {
+                        StackUpdateKind::Call => depth += 1,
+                        StackUpdateKind::Return => depth -= 1,
+                    }
+                    prop_assert!(depth >= -1, "returns may not outnumber calls");
+                }
+                TraceRecord::High(h) => match h {
+                    HighLevelEvent::Malloc { base, len, .. } => {
+                        prop_assert!(layout::is_heap(base));
+                        prop_assert!(len >= 4);
+                    }
+                    HighLevelEvent::Free { base, len } => {
+                        prop_assert!(layout::is_heap(base));
+                        prop_assert!(len >= 4);
+                    }
+                    HighLevelEvent::TaintSource { base, len } => {
+                        prop_assert!(layout::is_heap(base));
+                        prop_assert!(len > 0);
+                    }
+                    HighLevelEvent::ThreadSwitch { tid } => {
+                        prop_assert!((tid as usize) < profile.threads.max(1) as usize);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Frees only release previously malloc'd blocks, matching base and
+    /// length (no double frees, no invented blocks).
+    #[test]
+    fn frees_match_mallocs(name in benchmarks(), seed in 0u64..1000) {
+        use std::collections::HashMap;
+        let profile = bench::by_name(name).unwrap();
+        let mut prog = SyntheticProgram::new(&profile, seed);
+        let mut live: HashMap<u32, u32> = HashMap::new();
+        for _ in 0..60_000 {
+            match prog.next_record() {
+                TraceRecord::High(HighLevelEvent::Malloc { base, len, .. }) => {
+                    prop_assert!(
+                        live.insert(base.raw(), len).is_none(),
+                        "block reallocated while live"
+                    );
+                }
+                TraceRecord::High(HighLevelEvent::Free { base, len }) => {
+                    match live.remove(&base.raw()) {
+                        Some(l) => prop_assert_eq!(l, len, "free length mismatch"),
+                        None => prop_assert!(false, "free of unknown block {}", base),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Generation is a pure function of (profile, seed).
+    #[test]
+    fn generation_is_deterministic(name in benchmarks(), seed in 0u64..1000) {
+        let profile = bench::by_name(name).unwrap();
+        let mut a = SyntheticProgram::new(&profile, seed);
+        let mut b = SyntheticProgram::new(&profile, seed);
+        for _ in 0..2_000 {
+            prop_assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+}

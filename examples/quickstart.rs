@@ -1,0 +1,63 @@
+//! Quickstart: run one benchmark under one monitor, with and without
+//! FADE, and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [monitor] [benchmark]
+//! ```
+
+use fade_repro::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let monitor = args.first().map(String::as_str).unwrap_or("MemLeak");
+    let workload = args.get(1).map(String::as_str).unwrap_or("gcc");
+
+    let Some(profile) = bench::by_name(workload) else {
+        eprintln!("unknown benchmark '{workload}'; try gcc, mcf, omnet, water, astar-taint, ...");
+        std::process::exit(1);
+    };
+    if monitor_by_name(monitor).is_none() {
+        eprintln!("unknown monitor '{monitor}'; try AddrCheck, MemCheck, MemLeak, TaintCheck, AtomCheck");
+        std::process::exit(1);
+    }
+
+    println!("workload: {workload}   monitor: {monitor}");
+    println!("system:   single-core dual-threaded 4-way OoO (paper Figure 8(b))\n");
+
+    let warm = 30_000;
+    let measure = 200_000;
+
+    let unaccel = run_experiment(
+        &profile,
+        monitor,
+        &SystemConfig::unaccelerated_single_core(),
+        warm,
+        measure,
+    );
+    let fade = run_experiment(
+        &profile,
+        monitor,
+        &SystemConfig::fade_single_core(),
+        warm,
+        measure,
+    );
+
+    println!("application IPC (unmonitored): {:.2}", fade.app_ipc());
+    println!("monitored IPC (event rate):    {:.2}", fade.monitored_ipc());
+    println!();
+    println!("unaccelerated slowdown: {:.2}x", unaccel.slowdown());
+    println!("FADE slowdown:          {:.2}x", fade.slowdown());
+    println!(
+        "FADE filtering ratio:   {:.1}% of event handlers elided",
+        100.0 * fade.filtering_ratio()
+    );
+    let f = fade.fade.expect("accelerated run has FADE stats");
+    println!();
+    println!("accelerator detail:");
+    println!("  instruction events   {}", f.instr_events);
+    println!("  filtered             {}", f.filtered);
+    println!("  partial hits         {}", f.partial_hits);
+    println!("  unfiltered           {}", f.unfiltered_instr);
+    println!("  stack updates (SUU)  {}", f.stack_updates);
+    println!("  high-level events    {}", f.high_level);
+}

@@ -1,0 +1,45 @@
+//! Race hunt: run AtomCheck (AVIO-style interleaving invariants) over a
+//! multithreaded workload on the FADE-accelerated system and show the
+//! atomicity-violation candidates it flags — while FADE filters the
+//! same-thread accesses that dominate the stream.
+//!
+//! ```sh
+//! cargo run --release --example race_hunt [benchmark]
+//! ```
+
+use fade_repro::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = args.first().map(String::as_str).unwrap_or("ocean");
+    let Some(profile) = bench::by_name(workload) else {
+        eprintln!("unknown parallel benchmark '{workload}'; try water, ocean, blacks., stream., fluid.");
+        std::process::exit(1);
+    };
+    if profile.threads < 2 {
+        eprintln!("'{workload}' is single-threaded; AtomCheck needs the parallel suite");
+        std::process::exit(1);
+    }
+
+    println!("AtomCheck on {workload} ({} threads, time-sliced)\n", profile.threads);
+    let mut sys = MonitoringSystem::new(&profile, "AtomCheck", &SystemConfig::fade_single_core());
+    sys.run_instrs(400_000);
+
+    let reports = sys.monitor().reports();
+    println!(
+        "simulated {} instructions in {} cycles",
+        sys.instrs(),
+        sys.cycles()
+    );
+    println!("interleaving candidates found: {}", reports.len());
+    for r in reports.iter().take(8) {
+        println!("  {r}");
+    }
+    if reports.len() > 8 {
+        println!("  ... and {} more", reports.len() - 8);
+    }
+    assert!(
+        !reports.is_empty(),
+        "a sharing workload must produce interleaving candidates"
+    );
+}

@@ -1,0 +1,72 @@
+//! Multi-shot filtering end-to-end: MemCheck programmed with two-shot
+//! chains must classify identically to the single-shot encoding and
+//! produce the same metadata — only the shot count (filter-stage
+//! cycles) differs.
+
+use fade_repro::isa::{layout, Reg, VirtAddr};
+use fade_repro::monitors::{MemCheck, monitor_by_name};
+use fade_repro::prelude::*;
+use fade_repro::system::baseline_cycles;
+
+fn fingerprint(sys: &MonitoringSystem) -> Vec<u8> {
+    let mut f: Vec<u8> = Reg::all().map(|r| sys.state().reg_meta(r)).collect();
+    for i in 0..64 {
+        f.push(sys.state().mem_meta(VirtAddr::new(layout::GLOBALS_BASE + i * 4)));
+        f.push(sys.state().mem_meta(VirtAddr::new(layout::HEAP_BASE + i * 4)));
+    }
+    f
+}
+
+#[test]
+fn multi_shot_is_functionally_identical_and_costs_shots() {
+    let b = bench::by_name("gcc").unwrap();
+    let cfg = SystemConfig::fade_single_core();
+    let warm = 10_000;
+    let meas = 60_000;
+
+    let run = |program: fade_repro::accel::FadeProgram| {
+        let mon = monitor_by_name("memcheck").unwrap();
+        let mut sys = MonitoringSystem::with_program(&b, mon, program, &cfg);
+        sys.run_instrs(warm);
+        sys.start_measure();
+        sys.run_instrs(meas);
+        let base = baseline_cycles(&b, cfg.core, cfg.seed, warm, meas);
+        let fp = fingerprint(&sys);
+        (sys.finish(b.name, base), fp)
+    };
+
+    let single_mon = MemCheck::new();
+    let (single, fp_single) = run(single_mon.program());
+    let (multi, fp_multi) = run(MemCheck::new().program_multi_shot());
+
+    let fs = single.fade.unwrap();
+    let fm = multi.fade.unwrap();
+
+    // Identical classification (up to the handful of events still in
+    // flight when the instruction-count window cuts off) and metadata.
+    let ratio_s = fs.filtering_ratio();
+    let ratio_m = fm.filtering_ratio();
+    assert!(
+        (ratio_s - ratio_m).abs() < 0.005,
+        "filtering ratios must match: {ratio_s:.4} vs {ratio_m:.4}"
+    );
+    let diff = fp_single
+        .iter()
+        .zip(&fp_multi)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert!(
+        diff <= 4,
+        "metadata must not depend on encoding beyond in-flight skew ({diff} bytes differ)"
+    );
+
+    // Multi-shot pays one extra shot for every chained (memory) event.
+    assert!(
+        fm.shots > fs.shots,
+        "chained encoding must evaluate more shots: {} vs {}",
+        fm.shots,
+        fs.shots
+    );
+    // ... and therefore runs no faster.
+    assert!(multi.cycles >= single.cycles);
+}

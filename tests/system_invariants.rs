@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: end-to-end invariants over the full
+//! simulation stack (DESIGN.md section 5).
+
+use fade_repro::accel::FilterMode;
+use fade_repro::isa::{layout, Reg, VirtAddr};
+use fade_repro::prelude::*;
+
+const WARM: u64 = 10_000;
+const MEAS: u64 = 60_000;
+
+/// Addresses sampled for state-equality checks: globals, early heap,
+/// top-of-stack territory.
+fn probe_addrs() -> Vec<VirtAddr> {
+    let mut v = Vec::new();
+    for i in 0..64 {
+        v.push(VirtAddr::new(layout::GLOBALS_BASE + i * 4));
+        v.push(VirtAddr::new(layout::HEAP_BASE + i * 4));
+        v.push(VirtAddr::new(layout::STACK_TOP - 4096 + i * 4));
+    }
+    v
+}
+
+fn state_fingerprint(sys: &MonitoringSystem) -> Vec<u8> {
+    let mut f = Vec::new();
+    for r in Reg::all() {
+        f.push(sys.state().reg_meta(r));
+    }
+    for a in probe_addrs() {
+        f.push(sys.state().mem_meta(a));
+    }
+    f
+}
+
+/// Invariant 8: same seed, same everything.
+#[test]
+fn runs_are_deterministic() {
+    let b = bench::by_name("gcc").unwrap();
+    for cfg in [
+        SystemConfig::fade_single_core(),
+        SystemConfig::unaccelerated_single_core(),
+    ] {
+        let a = run_experiment(&b, "MemLeak", &cfg, WARM, MEAS);
+        let z = run_experiment(&b, "MemLeak", &cfg, WARM, MEAS);
+        assert_eq!(a.cycles, z.cycles, "{}", cfg.label());
+        assert_eq!(a.monitored_events, z.monitored_events);
+        assert_eq!(a.stack_events, z.stack_events);
+    }
+}
+
+/// Invariant 5 at system scale: blocking and non-blocking FADE produce
+/// the same final metadata and the same event classification.
+#[test]
+fn blocking_and_non_blocking_agree_functionally() {
+    let b = bench::by_name("mcf").unwrap();
+    for monitor in ["AddrCheck", "MemCheck", "MemLeak", "TaintCheck"] {
+        let mut nb = MonitoringSystem::new(&b, monitor, &SystemConfig::fade_single_core());
+        let mut blk = MonitoringSystem::new(
+            &b,
+            monitor,
+            &SystemConfig::fade_single_core().with_mode(FilterMode::Blocking),
+        );
+        nb.run_instrs(50_000);
+        blk.run_instrs(50_000);
+        assert_eq!(
+            state_fingerprint(&nb),
+            state_fingerprint(&blk),
+            "{monitor}: metadata must not depend on the filtering mode"
+        );
+        assert!(
+            blk.cycles() >= nb.cycles(),
+            "{monitor}: blocking cannot be faster"
+        );
+    }
+}
+
+/// Hardware path and pure-software path converge to the same metadata
+/// on a full workload (invariants 1+2 at system scale).
+#[test]
+fn fade_and_software_agree_functionally() {
+    let b = bench::by_name("gobmk").unwrap();
+    for monitor in ["AddrCheck", "MemCheck", "MemLeak", "TaintCheck"] {
+        let mut hw = MonitoringSystem::new(&b, monitor, &SystemConfig::fade_single_core());
+        let mut sw =
+            MonitoringSystem::new(&b, monitor, &SystemConfig::unaccelerated_single_core());
+        hw.run_instrs(50_000);
+        sw.run_instrs(50_000);
+        assert_eq!(
+            state_fingerprint(&hw),
+            state_fingerprint(&sw),
+            "{monitor}: acceleration must be functionally invisible"
+        );
+    }
+}
+
+/// Invariant 4: every instruction event is accounted for exactly once.
+#[test]
+fn event_conservation() {
+    let b = bench::by_name("astar").unwrap();
+    for monitor in ["AddrCheck", "MemLeak", "AtomCheck"] {
+        let bench_profile = if monitor == "AtomCheck" {
+            bench::by_name("water").unwrap()
+        } else {
+            b.clone()
+        };
+        let s = run_experiment(
+            &bench_profile,
+            monitor,
+            &SystemConfig::fade_single_core(),
+            WARM,
+            MEAS,
+        );
+        let f = s.fade.expect("accelerated run");
+        assert_eq!(
+            f.instr_events,
+            f.filtered + f.partial_hits + f.unfiltered_instr,
+            "{monitor}: filtered + partial + unfiltered must cover all events"
+        );
+    }
+}
+
+/// The headline result holds end-to-end: FADE beats the unaccelerated
+/// system for every monitor, and non-blocking beats blocking for the
+/// low-filtering-ratio monitors (Section 7.5).
+#[test]
+fn headline_orderings_hold() {
+    let pairs = [
+        ("AddrCheck", "gcc"),
+        ("MemCheck", "gcc"),
+        ("MemLeak", "gcc"),
+        ("TaintCheck", "astar-taint"),
+        ("AtomCheck", "water"),
+    ];
+    for (monitor, wl) in pairs {
+        let b = bench::by_name(wl).unwrap();
+        let un = run_experiment(
+            &b,
+            monitor,
+            &SystemConfig::unaccelerated_single_core(),
+            WARM,
+            MEAS,
+        );
+        let fa = run_experiment(&b, monitor, &SystemConfig::fade_single_core(), WARM, MEAS);
+        assert!(
+            un.slowdown() > fa.slowdown(),
+            "{monitor}/{wl}: unaccel {:.2} must exceed FADE {:.2}",
+            un.slowdown(),
+            fa.slowdown()
+        );
+    }
+    // Non-blocking benefit concentrates where filtering ratios are low.
+    let b = bench::by_name("gcc").unwrap();
+    let blocking = run_experiment(
+        &b,
+        "MemLeak",
+        &SystemConfig::fade_single_core().with_mode(FilterMode::Blocking),
+        WARM,
+        MEAS,
+    );
+    let nb = run_experiment(&b, "MemLeak", &SystemConfig::fade_single_core(), WARM, MEAS);
+    assert!(
+        blocking.slowdown() / nb.slowdown() > 1.2,
+        "non-blocking should clearly win for MemLeak on gcc: {:.2} vs {:.2}",
+        blocking.slowdown(),
+        nb.slowdown()
+    );
+}
+
+/// Filtering ratios land in the paper's bands (Table 2 shape).
+#[test]
+fn filtering_ratio_bands() {
+    let expectations = [
+        ("AddrCheck", "hmmer", 0.97, 1.0),
+        ("MemCheck", "libq", 0.90, 1.0),
+        ("MemLeak", "hmmer", 0.90, 1.0),
+        ("MemLeak", "gcc", 0.60, 0.90), // the paper's low outlier
+        ("TaintCheck", "mcf-taint", 0.70, 0.95),
+        ("AtomCheck", "ocean", 0.80, 0.99),
+    ];
+    for (monitor, wl, lo, hi) in expectations {
+        let b = bench::by_name(wl).unwrap();
+        let s = run_experiment(&b, monitor, &SystemConfig::fade_single_core(), WARM, MEAS);
+        let r = s.filtering_ratio();
+        assert!(
+            (lo..=hi).contains(&r),
+            "{monitor}/{wl}: filtering ratio {r:.3} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+/// Two-core FADE is at least as fast as single-core (Figure 11(a)).
+#[test]
+fn two_core_never_loses() {
+    for (monitor, wl) in [("MemLeak", "gcc"), ("AtomCheck", "stream.")] {
+        let b = bench::by_name(wl).unwrap();
+        let one = run_experiment(&b, monitor, &SystemConfig::fade_single_core(), WARM, MEAS);
+        let two = run_experiment(&b, monitor, &SystemConfig::fade_two_core(), WARM, MEAS);
+        assert!(
+            two.slowdown() <= one.slowdown() * 1.02,
+            "{monitor}/{wl}: two-core {:.2} vs single {:.2}",
+            two.slowdown(),
+            one.slowdown()
+        );
+    }
+}
+
+/// Area/power model reproduces Section 7.6 (paper-vs-measured).
+#[test]
+fn power_model_matches_paper() {
+    let logic = fade_repro::power::fade_logic_report(2.0);
+    let cache = fade_repro::power::cache_model(4096, 2, 64, 2.0);
+    let total_area = logic.area_mm2() + cache.area_mm2;
+    let total_power = logic.peak_power_mw() + cache.peak_power_mw;
+    assert!((total_area - 0.12).abs() / 0.12 < 0.10, "area {total_area:.3}");
+    assert!((total_power - 273.0).abs() / 273.0 < 0.10, "power {total_power:.0}");
+}
