@@ -24,7 +24,8 @@ fn bench_end_to_end(c: &mut Criterion) {
             let mut sys = MonitoringSystem::new(&profile, "MemLeak", &cfg);
             sys.run_instrs(5_000); // warm
             b.iter(|| {
-                black_box(sys.run_instrs(5_000));
+                sys.run_instrs(5_000);
+                black_box(sys.cycles());
             })
         });
     }

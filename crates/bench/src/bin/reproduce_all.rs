@@ -1,11 +1,61 @@
 //! Runs every experiment of the paper's evaluation section in order,
-//! printing paper-style tables. Scale the window with FADE_MEASURE /
-//! FADE_WARMUP (instructions).
+//! printing paper-style tables, then measures filtering throughput
+//! across batch sizes and dumps it to `BENCH_pipeline.json` (the
+//! machine-readable seed of the repo's performance trajectory). Scale
+//! the window with FADE_MEASURE / FADE_WARMUP (instructions).
 
 use fade_bench::experiments as ex;
+use fade_system::measure_throughput_matrix;
+use fade_trace::bench;
+
+/// (benchmark, monitor) points for the throughput dump: one
+/// high-filtering and one low-filtering workload.
+const PIPELINE_POINTS: [(&str, &str); 2] = [("hmmer", "AddrCheck"), ("gcc", "MemLeak")];
+const BATCH_SIZES: [usize; 4] = [1, 8, 32, 256];
+const PIPELINE_EVENTS: u64 = 200_000;
+
+fn pipeline_json() -> String {
+    let mut rows = Vec::new();
+    for (bench_name, monitor) in PIPELINE_POINTS {
+        let b = bench::by_name(bench_name).unwrap();
+        for r in measure_throughput_matrix(&b, monitor, &BATCH_SIZES, PIPELINE_EVENTS) {
+            let batch = r.batch_size;
+            println!(
+                "  {bench_name}/{monitor} batch {batch:>3}: {:>6.2} Mev/s batched, {:>6.2} Mev/s per-event ({:.2}x, {:.0}% fast path)",
+                r.batched_rate() / 1e6,
+                r.per_event_rate() / 1e6,
+                r.speedup(),
+                100.0 * r.fast_path_fraction(),
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\"benchmark\": \"{}\", \"monitor\": \"{}\", \"batch_size\": {}, ",
+                    "\"events\": {}, \"events_per_sec_batched\": {:.0}, ",
+                    "\"events_per_sec_per_event\": {:.0}, \"speedup\": {:.3}, ",
+                    "\"fast_path_fraction\": {:.4}, \"filtering_ratio\": {:.4}}}"
+                ),
+                r.benchmark,
+                r.monitor,
+                r.batch_size,
+                r.events,
+                r.batched_rate(),
+                r.per_event_rate(),
+                r.speedup(),
+                r.fast_path_fraction(),
+                r.fade.filtering_ratio(),
+            ));
+        }
+    }
+    format!(
+        "{{\n  \"schema\": \"fade-pipeline-throughput/v1\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+type Section = (&'static str, fn() -> String);
 
 fn main() {
-    let sections: [(&str, fn() -> String); 8] = [
+    let sections: [Section; 8] = [
         ("Figure 2", ex::fig2),
         ("Figure 3", ex::fig3),
         ("Figure 4", ex::fig4),
@@ -20,5 +70,14 @@ fn main() {
         println!("{name}");
         println!("================================================================");
         println!("{}", f());
+    }
+    println!("================================================================");
+    println!("Pipeline throughput (batched vs. per-event)");
+    println!("================================================================");
+    let json = pipeline_json();
+    let path = "BENCH_pipeline.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }
 }

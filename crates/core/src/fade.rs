@@ -30,7 +30,7 @@
 //! identical in blocking mode, non-blocking mode, and software-only
 //! runs.
 
-use fade_isa::{AppEvent, HighLevelEvent, InstrEvent, StackUpdateEvent};
+use fade_isa::{AppEvent, EventId, HighLevelEvent, InstrEvent, StackUpdateEvent};
 use fade_shadow::MetadataState;
 use fade_sim::{BoundedQueue, MemLatency, QueueDepth};
 
@@ -119,7 +119,7 @@ pub struct UnfilteredEvent {
 }
 
 /// Counters exported by the accelerator.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FadeStats {
     /// Instruction events processed.
     pub instr_events: u64,
@@ -193,6 +193,56 @@ impl FadeTick {
     }
 }
 
+/// Counters for one [`Fade::run_batch`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Events drained from the batch.
+    pub events: u64,
+    /// Events that took the short-circuit fast path (filterable
+    /// instruction events with warm metadata structures).
+    pub fast_path: u64,
+    /// Events that fell back to the cycle-accurate [`Fade::tick`] loop
+    /// (stack updates, high-level events, cold TLB/cache, multi-shot).
+    pub fallback: u64,
+    /// Events dispatched to the software consumer during the batch.
+    pub dispatched: u64,
+}
+
+impl BatchStats {
+    /// Folds another batch's counters into this one.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.events += other.events;
+        self.fast_path += other.fast_path;
+        self.fallback += other.fallback;
+        self.dispatched += other.dispatched;
+    }
+}
+
+/// Hot-path context for [`Fade::run_batch`].
+///
+/// Remembers what the last Metadata Read stage left at the MRU position
+/// of the M-TLB and the MD cache, plus a decoded "plan" for the last
+/// event ID, so the common same-page/same-line/single-shot case can
+/// skip the associative lookups entirely. The shortcut is *exact*: it
+/// fires only when the access provably hits at MRU, where a real
+/// access would bump the hit counter and leave the LRU order unchanged.
+/// Any cycle-accurate `tick` (and any dispatch, whose metadata write
+/// fills the MD cache) invalidates the MRU fields.
+#[derive(Clone, Copy, Debug, Default)]
+struct BatchCtx {
+    /// Event ID the decoded plan below describes.
+    plan_id: Option<EventId>,
+    /// The plan's entry has no multi-shot continuation.
+    plan_single_shot: bool,
+    /// The plan's entry has a memory operand (Metadata Read stage does
+    /// one M-TLB + one MD-cache access).
+    plan_has_mem: bool,
+    /// Application page number at the M-TLB's MRU slot.
+    mru_page: Option<u32>,
+    /// Metadata line known to sit at the MRU way of its MD-cache set.
+    mru_line: Option<u64>,
+}
+
 /// A pending functional effect, applied when the in-flight event
 /// finalizes.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -244,6 +294,7 @@ pub struct Fade {
     outstanding: Vec<u64>,
     next_token: u64,
     stats: FadeStats,
+    batch: BatchCtx,
 }
 
 impl std::fmt::Debug for Fade {
@@ -281,6 +332,7 @@ impl Fade {
             outstanding: Vec::new(),
             next_token: 0,
             stats: FadeStats::default(),
+            batch: BatchCtx::default(),
             config,
             program,
         }
@@ -393,6 +445,10 @@ impl Fade {
 
     /// Advances the accelerator one cycle.
     pub fn tick(&mut self, st: &mut MetadataState) -> FadeTick {
+        // Cycle-accurate operation can reorder the TLB / MD-cache LRU
+        // state arbitrarily: drop the batch fast path's MRU knowledge.
+        self.batch.mru_page = None;
+        self.batch.mru_line = None;
         let mut out = FadeTick::default();
         // The SUU owns the MD cache port while busy.
         if self.suu.busy() {
@@ -440,6 +496,225 @@ impl Fade {
             }
         }
         out
+    }
+
+    /// Drains a slice of events through the four-stage pipeline without
+    /// per-event `enqueue`/`tick` round trips.
+    ///
+    /// Filterable instruction events with warm metadata structures (a
+    /// single-shot entry, the M-TLB and MD-cache lines of the previous
+    /// event, an empty FSQ) take a short-circuit path that skips the
+    /// event queue and the cycle state machine entirely; everything
+    /// else — stack updates, high-level events, cold structures,
+    /// multi-shot chains — falls back to the cycle-accurate [`Fade::tick`]
+    /// loop. Dispatched events are consumed immediately (their handlers
+    /// complete the same cycle), which is the same contract as driving
+    /// the accelerator per event with an always-ready consumer:
+    /// [`FadeStats`], the metadata state, and every cache/TLB counter
+    /// come out bit-identical to that reference execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if handlers dispatched *before* the batch have not been
+    /// completed ([`Fade::handler_completed`]), since the batch's
+    /// immediate-consumer semantics cannot retire foreign tokens.
+    pub fn run_batch(&mut self, events: &[AppEvent], st: &mut MetadataState) -> BatchStats {
+        self.run_batch_with(events, st, |_, _| {})
+    }
+
+    /// [`Fade::run_batch`], invoking `consumer` for every dispatched
+    /// event in program order (after its critical metadata update and
+    /// handler completion) so callers can apply software-handler
+    /// functional effects — what the monitor core does when it pops the
+    /// unfiltered queue.
+    pub fn run_batch_with<F>(
+        &mut self,
+        events: &[AppEvent],
+        st: &mut MetadataState,
+        mut consumer: F,
+    ) -> BatchStats
+    where
+        F: FnMut(UnfilteredEvent, &mut MetadataState),
+    {
+        assert!(
+            self.outstanding.is_empty(),
+            "run_batch requires every previously dispatched handler to be completed"
+        );
+        let mut out = BatchStats::default();
+        // Settle any backlog the caller enqueued before the batch.
+        if !self.is_idle() {
+            self.settle_batch(st, &mut out, &mut consumer);
+        }
+        for ev in events {
+            out.events += 1;
+            match ev {
+                AppEvent::Instr(iev) => self.batch_instr(iev, st, &mut out, &mut consumer),
+                other => {
+                    out.fallback += 1;
+                    self.event_q
+                        .push(*other)
+                        .expect("event queue is drained between batch events");
+                    self.settle_batch(st, &mut out, &mut consumer);
+                }
+            }
+        }
+        out
+    }
+
+    /// One instruction event of a batch: tier A (warm shortcut) when
+    /// provably exact, tier B (pipeline stages without queue churn)
+    /// otherwise.
+    fn batch_instr<F>(
+        &mut self,
+        ev: &InstrEvent,
+        st: &mut MetadataState,
+        out: &mut BatchStats,
+        consumer: &mut F,
+    ) where
+        F: FnMut(UnfilteredEvent, &mut MetadataState),
+    {
+        debug_assert!(self.is_idle() && self.ufq.is_empty() && self.fsq.is_empty());
+        // Refresh the decoded plan when the stream changes event ID.
+        if self.batch.plan_id != Some(ev.id) {
+            let Some(e) = self.program.table().entry(ev.id) else {
+                // No entry: resolve_instr's defensive path handles it.
+                self.batch.plan_id = None;
+                self.batch_instr_slow(ev, st, out, consumer);
+                return;
+            };
+            self.batch.plan_id = Some(ev.id);
+            self.batch.plan_single_shot = e.next_entry.is_none();
+            self.batch.plan_has_mem = OperandSel::ALL
+                .iter()
+                .any(|&s| e.operand(s).valid && e.operand(s).mem);
+            // The MRU fields describe the previous event's accesses and
+            // stay valid across a plan change.
+        }
+
+        // Tier A preconditions, checked without side effects.
+        let mut md_addr = 0u64;
+        let warm = self.batch.plan_single_shot
+            && if self.batch.plan_has_mem {
+                md_addr = self.program.md_map().md_addr(ev.app_addr);
+                self.batch.mru_page == Some(ev.app_addr.page())
+                    && self.batch.mru_line == Some(self.md_line(md_addr))
+            } else {
+                true
+            };
+        if !warm {
+            self.batch_instr_slow(ev, st, out, consumer);
+            return;
+        }
+
+        // ---- Tier A: one shot, guaranteed M-TLB + MD-cache MRU hits,
+        // empty FSQ. Exactly the work the pipeline would do, minus the
+        // queue round trip and the associative searches.
+        out.fast_path += 1;
+        self.stats.instr_events += 1;
+        self.stats.shots += 1;
+        self.stats.busy_cycles += 1;
+        if self.batch.plan_has_mem {
+            self.tlb.record_mru_hit(ev.app_addr);
+            self.md_cache.record_mru_hit(md_addr);
+        }
+        let entry = self.program.table().entry(ev.id).expect("plan implies an entry");
+        let ops = self.fetch_operands(entry, ev, st);
+        let d = evaluate_shot(entry, &ops, self.program.invariants());
+        if d.condition_holds && !entry.partial {
+            self.stats.filtered += 1;
+            return;
+        }
+        // Unfiltered (or partial hit): same dispatch machinery as the
+        // pipeline; the UFQ and FSQ are empty, so finalize cannot stall.
+        let entry = *entry;
+        let resolution = self.dispatch_resolution(ev, &entry, d.condition_holds, st);
+        let mut tk = FadeTick::default();
+        self.finalize(resolution, st, &mut tk);
+        debug_assert!(tk.dispatched.is_some(), "empty UFQ/FSQ cannot stall");
+        // The dispatch's metadata write may have filled an MD-cache
+        // line, perturbing the set's recency order.
+        self.batch.mru_line = None;
+        self.drain_dispatched(st, out, consumer);
+        self.settle_batch(st, out, consumer); // blocking-mode resume
+    }
+
+    /// Tier B: the full pipeline stages for one instruction event,
+    /// still skipping the event-queue round trip.
+    fn batch_instr_slow<F>(
+        &mut self,
+        ev: &InstrEvent,
+        st: &mut MetadataState,
+        out: &mut BatchStats,
+        consumer: &mut F,
+    ) where
+        F: FnMut(UnfilteredEvent, &mut MetadataState),
+    {
+        out.fallback += 1;
+        let (resolution, cycles) = self.resolve_instr(ev, st);
+        self.stats.busy_cycles += cycles as u64;
+        match resolution {
+            Resolution::Filtered => {
+                // This event's Metadata Read left its page and line at
+                // MRU: warm the tier-A context.
+                if self.batch.plan_id == Some(ev.id) && self.batch.plan_has_mem {
+                    self.batch.mru_page = Some(ev.app_addr.page());
+                    self.batch.mru_line =
+                        Some(self.md_line(self.program.md_map().md_addr(ev.app_addr)));
+                }
+            }
+            dispatch => {
+                let mut tk = FadeTick::default();
+                self.finalize(dispatch, st, &mut tk);
+                debug_assert!(tk.dispatched.is_some(), "empty UFQ/FSQ cannot stall");
+                if self.batch.plan_id == Some(ev.id) && self.batch.plan_has_mem {
+                    self.batch.mru_page = Some(ev.app_addr.page());
+                }
+                self.batch.mru_line = None;
+                self.drain_dispatched(st, out, consumer);
+                self.settle_batch(st, out, consumer);
+            }
+        }
+    }
+
+    /// The MD-cache line a metadata address falls in — the same line
+    /// indexing [`TagCache`] applies internally, kept in one place so
+    /// the tier-A MRU check can never drift from the cache geometry.
+    #[inline]
+    fn md_line(&self, md_addr: u64) -> u64 {
+        md_addr / self.md_cache.config().line_bytes as u64
+    }
+
+    /// Pops every dispatched event, completes its handler and hands it
+    /// to the batch consumer.
+    fn drain_dispatched<F>(
+        &mut self,
+        st: &mut MetadataState,
+        out: &mut BatchStats,
+        consumer: &mut F,
+    ) where
+        F: FnMut(UnfilteredEvent, &mut MetadataState),
+    {
+        while let Some(uf) = self.ufq.pop() {
+            self.handler_completed(uf.token);
+            out.dispatched += 1;
+            consumer(uf, st);
+        }
+    }
+
+    /// Runs the cycle-accurate loop (with an always-ready consumer)
+    /// until the accelerator quiesces.
+    fn settle_batch<F>(&mut self, st: &mut MetadataState, out: &mut BatchStats, consumer: &mut F)
+    where
+        F: FnMut(UnfilteredEvent, &mut MetadataState),
+    {
+        let mut guard = 0u64;
+        while !self.is_idle() {
+            self.tick(st);
+            self.drain_dispatched(st, out, consumer);
+            guard += 1;
+            assert!(guard < 100_000_000, "run_batch failed to quiesce");
+        }
+        self.drain_dispatched(st, out, consumer);
     }
 
     /// Tries to start processing the event at the queue head.
@@ -515,8 +790,10 @@ impl Fade {
             return;
         };
         let map = self.program.md_map();
-        let inv = self.program.invariants().clone();
-        self.suu.start(ev, suu_cfg.call_inv, suu_cfg.ret_inv, &inv, &map, st);
+        // Split borrows so the SUU reads the invariant file in place —
+        // no per-update clone of the register file on the hot path.
+        let Fade { suu, program, .. } = self;
+        suu.start(ev, suu_cfg.call_inv, suu_cfg.ret_inv, program.invariants(), &map, st);
     }
 
     /// Runs the filtering pipeline for an instruction event, returning
@@ -584,9 +861,20 @@ impl Fade {
             self.stats.filtered += 1;
             return (Resolution::Filtered, cycles);
         }
+        (self.dispatch_resolution(ev, &primary, holds, st), cycles)
+    }
 
-        // Unfiltered (or partial hit): compute the non-blocking critical
-        // metadata update from the primary entry's rule.
+    /// Builds the Dispatch resolution for an unfiltered (or partial-hit)
+    /// instruction event: handler selection plus the non-blocking
+    /// critical-metadata update from the primary entry's rule. Shared by
+    /// the cycle-accurate pipeline and the batched fast path.
+    fn dispatch_resolution(
+        &mut self,
+        ev: &InstrEvent,
+        primary: &EventTableEntry,
+        holds: bool,
+        st: &MetadataState,
+    ) -> Resolution {
         let token = self.alloc_token();
         let partial_hit = holds && primary.partial;
         let handler = if partial_hit {
@@ -595,7 +883,7 @@ impl Fade {
             primary.handler_pc
         };
         let effect = primary.nb.and_then(|nb| {
-            let ops = self.fetch_operands(&primary, ev, st);
+            let ops = self.fetch_operands(primary, ev, st);
             nb.evaluate(&ops, self.program.invariants()).and_then(|v| {
                 let d_rule = primary.operand(OperandSel::D);
                 if !d_rule.valid {
@@ -613,7 +901,7 @@ impl Fade {
                 }
             })
         });
-        let resolution = Resolution::Dispatch {
+        Resolution::Dispatch {
             unfiltered: UnfilteredEvent {
                 event: AppEvent::Instr(*ev),
                 handler,
@@ -621,8 +909,7 @@ impl Fade {
                 token,
             },
             effect,
-        };
-        (resolution, cycles)
+        }
     }
 
     /// Metadata Read stage: fetch the three operands' metadata, masked,
@@ -718,7 +1005,6 @@ impl Fade {
                 out.dispatched = Some(unfiltered);
                 self.ufq
                     .push(unfiltered)
-                    .ok()
                     .expect("UFQ fullness checked above");
                 self.state = match self.config.mode {
                     FilterMode::Blocking => FaState::BlockedOnHandler { token },

@@ -63,6 +63,9 @@ impl Fsq {
     /// # Errors
     ///
     /// Returns `Err(())` when the queue is full; the pipeline must stall.
+    /// (A unit error mirrors the hardware's single "full" wire; there is
+    /// nothing else to report.)
+    #[allow(clippy::result_unit_err)]
     pub fn push(&mut self, md_addr: u64, bytes: u8, value: u64, token: u64) -> Result<(), ()> {
         if self.entries.len() >= self.capacity {
             return Err(());

@@ -62,7 +62,9 @@ pub mod program;
 pub mod suu;
 pub mod update_logic;
 
-pub use crate::fade::{Fade, FadeConfig, FadeStats, FadeTick, FilterMode, UnfilteredEvent};
+pub use crate::fade::{
+    BatchStats, Fade, FadeConfig, FadeStats, FadeTick, FilterMode, UnfilteredEvent,
+};
 pub use event_table::{
     EventTable, EventTableEntry, FilterKind, HandlerPc, OperandRule, OperandSel, RuCompose,
 };

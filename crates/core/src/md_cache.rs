@@ -132,6 +132,25 @@ impl TagCache {
         }
     }
 
+    /// Records a hit for an address whose line is known to sit at the
+    /// MRU way of its set, skipping the associative search — the
+    /// warm-path shortcut of the batched filtering loop. Equivalent to
+    /// [`TagCache::access`] for that case: the hit counter advances and
+    /// the set's recency order (the line is already in front) is
+    /// unchanged.
+    #[inline]
+    pub fn record_mru_hit(&mut self, addr: u64) {
+        #[cfg(debug_assertions)]
+        {
+            let line = addr / self.config.line_bytes as u64;
+            let set_idx = (line % self.sets.len() as u64) as usize;
+            let tag = line / self.sets.len() as u64;
+            debug_assert_eq!(self.sets[set_idx].first(), Some(&tag));
+        }
+        let _ = addr;
+        self.stats.hits += 1;
+    }
+
     /// Probes without updating LRU state or statistics.
     pub fn probe(&self, addr: u64) -> bool {
         let line = addr / self.config.line_bytes as u64;

@@ -59,6 +59,18 @@ impl MdTlb {
         }
     }
 
+    /// Records a hit for an address whose page is known to sit at the
+    /// MRU slot, skipping the associative search — the warm-path
+    /// shortcut of the batched filtering loop. Equivalent to
+    /// [`MdTlb::access`] for that case: the hit counter advances and
+    /// the recency order (the page is already in front) is unchanged.
+    #[inline]
+    pub fn record_mru_hit(&mut self, app: VirtAddr) {
+        debug_assert_eq!(self.entries.first(), Some(&app.page()));
+        let _ = app;
+        self.hits += 1;
+    }
+
     /// The metadata frame an application page maps to (the translation
     /// the hardware would return; delegated to the functional map).
     pub fn translate(map: &MetadataMap, app: VirtAddr) -> u64 {

@@ -155,7 +155,7 @@ mod tests {
         let map = st.map();
         let cycles = suu.start(&call_event(0x8000, 256), InvId::new(0), InvId::new(1), &inv, &map, &mut st);
         // 256 app bytes -> 64 md bytes -> 1..2 lines depending on alignment.
-        assert!(cycles >= 1 && cycles <= 2, "got {cycles}");
+        assert!((1..=2).contains(&cycles), "got {cycles}");
         assert_eq!(st.mem_meta(VirtAddr::new(0x8000)), 2);
         assert_eq!(st.mem_meta(VirtAddr::new(0x80fc)), 2);
         assert_eq!(st.mem_meta(VirtAddr::new(0x8100)), 0);

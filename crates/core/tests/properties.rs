@@ -1,10 +1,323 @@
-//! Property tests for the accelerator's storage structures and the
-//! non-blocking update algebra.
+//! Property tests for the accelerator's storage structures, the
+//! non-blocking update algebra, and the batched fast path's equivalence
+//! with per-event cycle-accurate execution.
 
 use std::collections::VecDeque;
 
-use fade::{Fsq, InvId, InvRf, NbAction, NbCond, NbCondOperand, NbUpdate, OperandMeta, TagCache, TagCacheConfig};
+use fade::{
+    Fade, FadeConfig, FilterMode, Fsq, InvId, InvRf, NbAction, NbCond, NbCondOperand, NbUpdate,
+    OperandMeta, TagCache, TagCacheConfig, UnfilteredEvent,
+};
+use fade_isa::{
+    instr_event_for, layout, AppEvent, AppInstr, HighLevelEvent, InstrClass, MemRef, Reg,
+    StackUpdateEvent, StackUpdateKind, VirtAddr,
+};
+use fade_monitors::monitor_by_name;
+use fade_shadow::MetadataState;
 use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Batched vs. per-event equivalence.
+// ---------------------------------------------------------------------
+
+/// Abstract operations lowered into application events.
+#[derive(Clone, Copy, Debug)]
+enum BatchOp {
+    Load { slot: u8, dest: u8 },
+    Store { slot: u8, src: u8 },
+    Alu { s1: u8, s2: u8, d: u8 },
+    Mov { s1: u8, d: u8 },
+    Malloc { block: u8 },
+    Free { block: u8 },
+    Call,
+    Ret,
+    Switch { tid: u8 },
+}
+
+fn batch_op() -> impl Strategy<Value = BatchOp> {
+    prop_oneof![
+        (0u8..16, 0u8..6).prop_map(|(slot, dest)| BatchOp::Load { slot, dest }),
+        (0u8..16, 0u8..6).prop_map(|(slot, src)| BatchOp::Store { slot, src }),
+        (0u8..6, 0u8..6, 0u8..6).prop_map(|(s1, s2, d)| BatchOp::Alu { s1, s2, d }),
+        (0u8..6, 0u8..6).prop_map(|(s1, d)| BatchOp::Mov { s1, d }),
+        (0u8..4).prop_map(|block| BatchOp::Malloc { block }),
+        (0u8..4).prop_map(|block| BatchOp::Free { block }),
+        Just(BatchOp::Call),
+        Just(BatchOp::Ret),
+        (0u8..4).prop_map(|tid| BatchOp::Switch { tid }),
+    ]
+}
+
+/// Address pool spanning several pages (so the M-TLB and MD cache both
+/// hit and miss): 8 heap slots on one page, 4 on the next, 4 globals.
+fn slot_addr(slot: u8) -> VirtAddr {
+    match slot {
+        0..=7 => VirtAddr::new(layout::HEAP_BASE + slot as u32 * 4),
+        8..=11 => VirtAddr::new(layout::HEAP_BASE + 4096 + (slot as u32 - 8) * 4),
+        _ => VirtAddr::new(layout::GLOBALS_BASE + (slot as u32 - 12) * 4),
+    }
+}
+
+fn reg(i: u8) -> Reg {
+    Reg::new(2 + i)
+}
+
+/// Lowers ops to events, keeping the call stack balanced. Only events
+/// the loaded program can decode (or that bypass the event table) are
+/// produced.
+fn lower_ops(ops: &[BatchOp], fade: &Fade) -> Vec<AppEvent> {
+    let mut sp = layout::STACK_TOP - 8192;
+    let mut frames: Vec<(VirtAddr, u32)> = Vec::new();
+    let mut tid = 0u8;
+    let mut events = Vec::new();
+    let push_instr = |i: AppInstr, events: &mut Vec<AppEvent>| {
+        let ev = instr_event_for(&i);
+        if fade.program().table().entry(ev.id).is_some() {
+            events.push(AppEvent::Instr(ev));
+        }
+    };
+    for &op in ops {
+        match op {
+            BatchOp::Load { slot, dest } => push_instr(
+                AppInstr::new(VirtAddr::new(0x400), InstrClass::Load)
+                    .with_dest(reg(dest))
+                    .with_mem(MemRef::word(slot_addr(slot)))
+                    .with_tid(tid),
+                &mut events,
+            ),
+            BatchOp::Store { slot, src } => push_instr(
+                AppInstr::new(VirtAddr::new(0x404), InstrClass::Store)
+                    .with_src1(reg(src))
+                    .with_mem(MemRef::word(slot_addr(slot)))
+                    .with_tid(tid),
+                &mut events,
+            ),
+            BatchOp::Alu { s1, s2, d } => push_instr(
+                AppInstr::new(VirtAddr::new(0x408), InstrClass::IntAlu)
+                    .with_src1(reg(s1))
+                    .with_src2(reg(s2))
+                    .with_dest(reg(d))
+                    .with_tid(tid),
+                &mut events,
+            ),
+            BatchOp::Mov { s1, d } => push_instr(
+                AppInstr::new(VirtAddr::new(0x410), InstrClass::IntMove)
+                    .with_src1(reg(s1))
+                    .with_dest(reg(d))
+                    .with_tid(tid),
+                &mut events,
+            ),
+            BatchOp::Malloc { block } => events.push(AppEvent::HighLevel(HighLevelEvent::Malloc {
+                base: VirtAddr::new(layout::HEAP_BASE + block as u32 * 64),
+                len: 64,
+                ctx: 7 + block as u32,
+            })),
+            BatchOp::Free { block } => events.push(AppEvent::HighLevel(HighLevelEvent::Free {
+                base: VirtAddr::new(layout::HEAP_BASE + block as u32 * 64),
+                len: 64,
+            })),
+            BatchOp::Call => {
+                sp -= 64;
+                let ev = StackUpdateEvent {
+                    base: VirtAddr::new(sp),
+                    len: 64,
+                    kind: StackUpdateKind::Call,
+                    tid,
+                };
+                frames.push((ev.base, ev.len));
+                events.push(AppEvent::StackUpdate(ev));
+            }
+            BatchOp::Ret => {
+                if let Some((base, len)) = frames.pop() {
+                    sp += len;
+                    events.push(AppEvent::StackUpdate(StackUpdateEvent {
+                        base,
+                        len,
+                        kind: StackUpdateKind::Return,
+                        tid,
+                    }));
+                }
+            }
+            BatchOp::Switch { tid: t } => {
+                tid = t;
+                events.push(AppEvent::HighLevel(HighLevelEvent::ThreadSwitch { tid: t }));
+            }
+        }
+    }
+    events
+}
+
+/// A fresh accelerator + metadata state for one monitor.
+fn instance(monitor: &str, mode: FilterMode) -> (Fade, MetadataState) {
+    let mon = monitor_by_name(monitor).unwrap();
+    let program = mon.program();
+    let mut st = MetadataState::new(program.md_map());
+    mon.init_state(&mut st);
+    (Fade::new(FadeConfig::paper(mode), program), st)
+}
+
+/// The canonical per-event reference: enqueue one event, tick until
+/// quiescent with an always-ready consumer, collect dispatches.
+fn reference_drive(
+    fade: &mut Fade,
+    st: &mut MetadataState,
+    events: &[AppEvent],
+) -> Vec<UnfilteredEvent> {
+    let mut dispatched = Vec::new();
+    let drain = |fade: &mut Fade, dispatched: &mut Vec<UnfilteredEvent>| {
+        while let Some(uf) = fade.pop_unfiltered() {
+            fade.handler_completed(uf.token);
+            dispatched.push(uf);
+        }
+    };
+    for &ev in events {
+        fade.enqueue(ev).expect("queue drained between events");
+        let mut guard = 0u32;
+        while !fade.is_idle() {
+            fade.tick(st);
+            drain(fade, &mut dispatched);
+            guard += 1;
+            assert!(guard < 1_000_000, "reference failed to quiesce");
+        }
+        drain(fade, &mut dispatched);
+    }
+    dispatched
+}
+
+/// Compares the metadata the test can observe: every register and the
+/// whole address pool (plus stack frames the ops may have touched).
+fn assert_states_match(a: &MetadataState, b: &MetadataState) -> Result<(), TestCaseError> {
+    for r in Reg::all() {
+        prop_assert_eq!(a.reg_meta(r), b.reg_meta(r), "reg {:?}", r);
+    }
+    for slot in 0..16u8 {
+        let addr = slot_addr(slot);
+        prop_assert_eq!(a.mem_meta(addr), b.mem_meta(addr), "mem {:?}", addr);
+    }
+    for i in 0..64u32 {
+        let addr = VirtAddr::new(layout::STACK_TOP - 8192 - 64 * 8 + i * 4);
+        prop_assert_eq!(a.mem_meta(addr), b.mem_meta(addr), "stack {:?}", addr);
+    }
+    Ok(())
+}
+
+fn check_batch_equivalence(
+    monitor: &str,
+    ops: &[BatchOp],
+    mode: FilterMode,
+) -> Result<(), TestCaseError> {
+    let (mut f_ref, mut st_ref) = instance(monitor, mode);
+    let (mut f_bat, mut st_bat) = instance(monitor, mode);
+    let events = lower_ops(ops, &f_ref);
+
+    let ref_dispatched = reference_drive(&mut f_ref, &mut st_ref, &events);
+    let mut bat_dispatched = Vec::new();
+    let bstats = f_bat.run_batch_with(&events, &mut st_bat, |uf, _| bat_dispatched.push(uf));
+
+    prop_assert_eq!(bstats.events, events.len() as u64);
+    prop_assert_eq!(bstats.fast_path + bstats.fallback, bstats.events);
+    prop_assert_eq!(bstats.dispatched, bat_dispatched.len() as u64);
+    prop_assert_eq!(&bat_dispatched, &ref_dispatched, "{}: dispatch streams differ", monitor);
+    prop_assert_eq!(
+        f_bat.stats(), f_ref.stats(),
+        "{}: FadeStats differ (batch fast_path={} fallback={})",
+        monitor, bstats.fast_path, bstats.fallback
+    );
+    prop_assert_eq!(f_bat.md_cache_stats(), f_ref.md_cache_stats(), "{}: MD cache stats", monitor);
+    prop_assert_eq!(f_bat.tlb_counts(), f_ref.tlb_counts(), "{}: M-TLB counts", monitor);
+    prop_assert_eq!(f_bat.suu_writes(), f_ref.suu_writes(), "{}: SUU writes", monitor);
+    prop_assert_eq!(f_bat.fsq_len(), 0, "{}: FSQ must drain", monitor);
+    assert_states_match(&st_bat, &st_ref)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `run_batch` and event-at-a-time `tick` produce identical
+    /// statistics, dispatch streams, cache/TLB counters and metadata
+    /// state over randomized mixed streams, for every monitor.
+    #[test]
+    fn run_batch_matches_per_event_execution(
+        ops in prop::collection::vec(batch_op(), 0..160),
+        monitor_idx in 0usize..5,
+    ) {
+        let monitor = ["addrcheck", "memcheck", "memleak", "taintcheck", "atomcheck"][monitor_idx];
+        check_batch_equivalence(monitor, &ops, FilterMode::NonBlocking)?;
+    }
+
+    /// The equivalence also holds in blocking mode (resume latency,
+    /// BlockedOnHandler transitions).
+    #[test]
+    fn run_batch_matches_per_event_execution_blocking(
+        ops in prop::collection::vec(batch_op(), 0..100),
+        monitor_idx in 0usize..5,
+    ) {
+        let monitor = ["addrcheck", "memcheck", "memleak", "taintcheck", "atomcheck"][monitor_idx];
+        check_batch_equivalence(monitor, &ops, FilterMode::Blocking)?;
+    }
+
+    /// Splitting one stream into arbitrary consecutive batches does not
+    /// change anything: the batch boundary is invisible.
+    #[test]
+    fn batch_split_is_invisible(
+        ops in prop::collection::vec(batch_op(), 0..120),
+        split in 0usize..120,
+    ) {
+        let (mut f_one, mut st_one) = instance("memleak", FilterMode::NonBlocking);
+        let (mut f_two, mut st_two) = instance("memleak", FilterMode::NonBlocking);
+        let events = lower_ops(&ops, &f_one);
+        let split = split.min(events.len());
+
+        f_one.run_batch(&events, &mut st_one);
+        let mut total = f_two.run_batch(&events[..split], &mut st_two);
+        total.merge(&f_two.run_batch(&events[split..], &mut st_two));
+
+        prop_assert_eq!(total.events, events.len() as u64);
+        prop_assert_eq!(f_one.stats(), f_two.stats());
+        prop_assert_eq!(f_one.md_cache_stats(), f_two.md_cache_stats());
+        prop_assert_eq!(f_one.tlb_counts(), f_two.tlb_counts());
+        assert_states_match(&st_one, &st_two)?;
+    }
+}
+
+/// An all-filterable stream retires one event per cycle in steady state
+/// (the paper's Figure 5 peak rate), on both execution paths.
+#[test]
+fn steady_state_retires_one_event_per_cycle() {
+    let (mut fade, mut st) = instance("memleak", FilterMode::NonBlocking);
+    // Same word repeatedly: after the first event warms the M-TLB and
+    // MD cache, every event is a single-shot filtered clean check.
+    let ev = {
+        let i = AppInstr::new(VirtAddr::new(0x400), InstrClass::Load)
+            .with_dest(Reg::new(3))
+            .with_mem(MemRef::word(VirtAddr::new(layout::HEAP_BASE + 0x40)));
+        AppEvent::Instr(instr_event_for(&i))
+    };
+    let warm = [ev; 4];
+    fade.run_batch(&warm, &mut st);
+    let busy0 = fade.stats().busy_cycles;
+    let idle0 = fade.stats().idle_cycles;
+    let filtered0 = fade.stats().filtered;
+
+    let stream = [ev; 1000];
+    let bstats = fade.run_batch(&stream, &mut st);
+    assert_eq!(bstats.fast_path, 1000, "warm filterable events take the fast path");
+    assert_eq!(fade.stats().filtered - filtered0, 1000);
+    assert_eq!(
+        fade.stats().busy_cycles - busy0,
+        1000,
+        "steady state must cost exactly one cycle per event"
+    );
+    assert_eq!(fade.stats().idle_cycles, idle0);
+
+    // The per-event reference path agrees.
+    let (mut f_ref, mut st_ref) = instance("memleak", FilterMode::NonBlocking);
+    reference_drive(&mut f_ref, &mut st_ref, &warm);
+    let busy0 = f_ref.stats().busy_cycles;
+    reference_drive(&mut f_ref, &mut st_ref, &stream);
+    assert_eq!(f_ref.stats().busy_cycles - busy0, 1000);
+    assert_eq!(f_ref.stats(), fade.stats());
+}
 
 #[derive(Clone, Copy, Debug)]
 enum FsqOp {

@@ -1,0 +1,315 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no package registry access, so this crate
+//! provides the API subset the workspace's benches use — benchmark
+//! groups, `iter`/`iter_batched_ref`, throughput reporting, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple
+//! wall-clock harness: per sample the routine runs long enough to
+//! amortize timer overhead, and the reported figure is the median
+//! per-iteration time across samples (with min/max bounds).
+//!
+//! Set `FADE_BENCH_QUICK=1` to cut measurement time for smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// How a batched routine's input is sized (API compatibility only; the
+/// harness always materializes one input per routine call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per sample.
+    SmallInput,
+    /// Large inputs: few per sample.
+    LargeInput,
+    /// One input per sample.
+    PerIteration,
+}
+
+/// Units processed per routine call, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many elements per call.
+    Elements(u64),
+    /// The routine processes this many bytes per call.
+    Bytes(u64),
+}
+
+/// One benchmark's measured result.
+#[derive(Clone, Debug)]
+pub struct Sampled {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Median seconds per routine call.
+    pub median_s: f64,
+    /// Fastest sample (seconds per call).
+    pub min_s: f64,
+    /// Slowest sample (seconds per call).
+    pub max_s: f64,
+    /// Declared units per call.
+    pub throughput: Option<Throughput>,
+}
+
+impl Sampled {
+    /// Elements (or bytes) per second at the median, if a throughput
+    /// was declared.
+    pub fn units_per_sec(&self) -> Option<f64> {
+        let n = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+        };
+        Some(n / self.median_s)
+    }
+}
+
+/// Top-level harness state; collects results from every group.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Sampled>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[Sampled] {
+        &self.results
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares units processed per routine call.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let quick = std::env::var("FADE_BENCH_QUICK").is_ok();
+        let budget = if quick {
+            Duration::from_millis(120)
+        } else {
+            self.measurement_time
+        };
+        let samples = if quick { 5 } else { self.sample_size };
+
+        let mut b = Bencher {
+            mode: Mode::Calibrate,
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibration: find an iteration count whose sample lasts about
+        // budget / samples, so timer overhead stays negligible.
+        let per_sample = budget.div_duration_f64(Duration::from_secs(1)) / samples as f64;
+        f(&mut b);
+        let mut iters = 1u64;
+        if b.elapsed > Duration::ZERO {
+            let one = b.elapsed.div_duration_f64(Duration::from_secs(1)) / b.iters as f64;
+            iters = ((per_sample / one).ceil() as u64).clamp(1, 1 << 24);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            b.mode = Mode::Measure;
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter.push(
+                b.elapsed.div_duration_f64(Duration::from_secs(1)) / iters as f64,
+            );
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let sampled = Sampled {
+            id: id.clone(),
+            median_s: per_iter[per_iter.len() / 2],
+            min_s: per_iter[0],
+            max_s: *per_iter.last().unwrap(),
+            throughput: self.throughput,
+        };
+        report(&sampled);
+        self.parent.results.push(sampled);
+        self
+    }
+
+    /// Ends the group (prints nothing; results live on the parent).
+    pub fn finish(self) {}
+}
+
+fn report(s: &Sampled) {
+    print!(
+        "{:<44} time: [{} .. {} .. {}]",
+        s.id,
+        fmt_time(s.min_s),
+        fmt_time(s.median_s),
+        fmt_time(s.max_s)
+    );
+    if let Some(ups) = s.units_per_sec() {
+        let unit = match s.throughput {
+            Some(Throughput::Bytes(_)) => "B/s",
+            _ => "elem/s",
+        };
+        print!("  thrpt: {}", fmt_rate(ups, unit));
+    }
+    println!();
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} s", s)
+    }
+}
+
+fn fmt_rate(r: f64, unit: &str) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G{unit}", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M{unit}", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} K{unit}", r / 1e3)
+    } else {
+        format!("{r:.1} {unit}")
+    }
+}
+
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = match self.mode {
+            Mode::Calibrate => 1,
+            Mode::Measure => self.iters,
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let iters = match self.mode {
+            Mode::Calibrate => 1,
+            Mode::Measure => self.iters,
+        };
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed();
+            drop(input);
+        }
+        self.elapsed = total;
+        self.iters = iters;
+    }
+}
+
+/// Re-export for benches that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("FADE_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![1u64; 100],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        for s in c.results() {
+            assert!(s.median_s > 0.0);
+            assert!(s.units_per_sec().unwrap() > 0.0);
+        }
+    }
+}

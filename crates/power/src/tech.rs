@@ -32,6 +32,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn constants_are_physically_sensible() {
         assert!(Tech40::SRAM_BIT_UM2 < Tech40::CAM_BIT_UM2);
         assert!(Tech40::CAM_BIT_UM2 < Tech40::FLOP_UM2);

@@ -39,7 +39,7 @@ impl MetadataMap {
     /// application page).
     pub fn new(base: u64, gran_shift: u8, unit_bytes: u8) -> Self {
         assert!(
-            unit_bytes >= 1 && unit_bytes <= 8,
+            (1..=8).contains(&unit_bytes),
             "metadata unit must be 1..=8 bytes"
         );
         assert!(

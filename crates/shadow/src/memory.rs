@@ -1,12 +1,27 @@
 //! Sparse paged metadata memory.
+//!
+//! Every Metadata Read stage of the filtering pipeline lands here (up
+//! to three operand reads per event), so the page lookup is the hottest
+//! data-structure operation in the whole reproduction. The page table
+//! is a specialized open-addressing hash map — Fibonacci hashing with
+//! linear probing, no SipHash, no per-lookup allocation — fronted by a
+//! one-entry last-page cache that turns the dominant same-page access
+//! pattern into a single compare.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
 /// Log2 of a shadow page, kept equal to the application page size so the
 /// M-TLB maps one application page to one metadata frame.
 pub const SHADOW_PAGE_SHIFT: u32 = 12;
 /// Shadow page size in bytes.
 pub const SHADOW_PAGE_SIZE: usize = 1 << SHADOW_PAGE_SHIFT;
+
+/// Sentinel for "no cached page" (no valid page number is all-ones:
+/// metadata addresses are well below 2^64).
+const NO_PAGE: u64 = u64::MAX;
+
+/// One materialized page: its page number and backing storage.
+type Slot = Option<(u64, Box<[u8; SHADOW_PAGE_SIZE]>)>;
 
 /// A sparse, byte-granularity metadata memory.
 ///
@@ -16,17 +31,117 @@ pub const SHADOW_PAGE_SIZE: usize = 1 << SHADOW_PAGE_SHIFT;
 ///
 /// Addresses here are *metadata-space* addresses (`u64`), produced by
 /// [`MetadataMap`](crate::MetadataMap).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ShadowMemory {
-    pages: HashMap<u64, Box<[u8; SHADOW_PAGE_SIZE]>>,
+    /// Power-of-two open-addressing table of materialized pages.
+    slots: Vec<Slot>,
+    /// `slots.len() - 1` (slots is always a power of two when non-empty).
+    mask: usize,
+    /// Materialized page count.
+    len: usize,
+    /// Last page number looked up (read or write), `NO_PAGE` if none.
+    last_page: Cell<u64>,
+    /// Slot index of `last_page`.
+    last_slot: Cell<usize>,
+}
+
+impl Default for ShadowMemory {
+    fn default() -> Self {
+        ShadowMemory::new()
+    }
 }
 
 impl ShadowMemory {
     /// Creates an empty shadow memory.
     pub fn new() -> Self {
         ShadowMemory {
-            pages: HashMap::new(),
+            slots: Vec::new(),
+            mask: 0,
+            len: 0,
+            last_page: Cell::new(NO_PAGE),
+            last_slot: Cell::new(0),
         }
+    }
+
+    /// Fibonacci multiplicative hash: spreads consecutive page numbers
+    /// across the table while staying a couple of instructions.
+    #[inline]
+    fn hash(page: u64) -> u64 {
+        page.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Finds the slot index holding `page`, starting from its hash
+    /// position, or `None` if the page is not materialized.
+    #[inline]
+    fn find(&self, page: u64) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.last_page.get() == page {
+            return Some(self.last_slot.get());
+        }
+        let mut i = (Self::hash(page) >> 32) as usize & self.mask;
+        loop {
+            match &self.slots[i] {
+                Some((p, _)) if *p == page => {
+                    self.last_page.set(page);
+                    self.last_slot.set(i);
+                    return Some(i);
+                }
+                Some(_) => i = (i + 1) & self.mask,
+                None => return None,
+            }
+        }
+    }
+
+    /// Grows (or initializes) the table to at least double capacity and
+    /// re-inserts every page.
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let mut slots: Vec<Slot> = Vec::new();
+        slots.resize_with(new_cap, || None);
+        let mask = new_cap - 1;
+        for (page, data) in self.slots.drain(..).flatten() {
+            let mut i = (Self::hash(page) >> 32) as usize & mask;
+            while slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            slots[i] = Some((page, data));
+        }
+        self.slots = slots;
+        self.mask = mask;
+        self.last_page.set(NO_PAGE);
+    }
+
+    /// The page's storage, materializing it if needed.
+    fn page_mut(&mut self, page: u64) -> &mut [u8; SHADOW_PAGE_SIZE] {
+        if let Some(i) = self.find(page) {
+            // Re-borrow through the index to end the `find` borrow.
+            return &mut self.slots[i].as_mut().expect("found slot is occupied").1;
+        }
+        // Keep the table at most ~7/8 full.
+        if self.slots.is_empty() || (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mut i = (Self::hash(page) >> 32) as usize & self.mask;
+        while self.slots[i].is_some() {
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = Some((page, Box::new([0u8; SHADOW_PAGE_SIZE])));
+        self.len += 1;
+        self.last_page.set(page);
+        self.last_slot.set(i);
+        &mut self.slots[i].as_mut().expect("just inserted").1
+    }
+
+    /// The page's storage, or `None` if untouched.
+    #[inline]
+    fn page(&self, page: u64) -> Option<&[u8; SHADOW_PAGE_SIZE]> {
+        self.find(page).map(|i| {
+            let (_, data) = self.slots[i].as_ref().expect("found slot is occupied");
+            &**data
+        })
     }
 
     /// Reads one metadata byte.
@@ -34,7 +149,7 @@ impl ShadowMemory {
     pub fn read_u8(&self, addr: u64) -> u8 {
         let page = addr >> SHADOW_PAGE_SHIFT;
         let off = (addr as usize) & (SHADOW_PAGE_SIZE - 1);
-        self.pages.get(&page).map_or(0, |p| p[off])
+        self.page(page).map_or(0, |p| p[off])
     }
 
     /// Writes one metadata byte, materializing the page if needed.
@@ -52,12 +167,24 @@ impl ShadowMemory {
     ///
     /// Panics if `n == 0 || n > 8`.
     pub fn read_bytes(&self, addr: u64, n: usize) -> u64 {
-        assert!(n >= 1 && n <= 8, "metadata reads are 1..=8 bytes");
-        let mut v = 0u64;
-        for i in 0..n {
-            v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+        assert!((1..=8).contains(&n), "metadata reads are 1..=8 bytes");
+        let page = addr >> SHADOW_PAGE_SHIFT;
+        let off = (addr as usize) & (SHADOW_PAGE_SIZE - 1);
+        if off + n <= SHADOW_PAGE_SIZE {
+            // Single-page fast path: one lookup for the whole access.
+            let Some(p) = self.page(page) else { return 0 };
+            let mut v = 0u64;
+            for i in 0..n {
+                v |= (p[off + i] as u64) << (8 * i);
+            }
+            v
+        } else {
+            let mut v = 0u64;
+            for i in 0..n {
+                v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
     /// Writes the low `n` bytes of `value` starting at `addr`,
@@ -67,9 +194,18 @@ impl ShadowMemory {
     ///
     /// Panics if `n == 0 || n > 8`.
     pub fn write_bytes(&mut self, addr: u64, n: usize, value: u64) {
-        assert!(n >= 1 && n <= 8, "metadata writes are 1..=8 bytes");
-        for i in 0..n {
-            self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+        assert!((1..=8).contains(&n), "metadata writes are 1..=8 bytes");
+        let page = addr >> SHADOW_PAGE_SHIFT;
+        let off = (addr as usize) & (SHADOW_PAGE_SIZE - 1);
+        if off + n <= SHADOW_PAGE_SIZE {
+            let p = self.page_mut(page);
+            for i in 0..n {
+                p[off + i] = (value >> (8 * i)) as u8;
+            }
+        } else {
+            for i in 0..n {
+                self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+            }
         }
     }
 
@@ -91,13 +227,7 @@ impl ShadowMemory {
 
     /// Number of materialized pages (diagnostics / footprint accounting).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
-    }
-
-    fn page_mut(&mut self, page: u64) -> &mut [u8; SHADOW_PAGE_SIZE] {
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u8; SHADOW_PAGE_SIZE]))
+        self.len
     }
 }
 
@@ -170,5 +300,32 @@ mod tests {
     #[should_panic(expected = "metadata writes are 1..=8 bytes")]
     fn write_bytes_rejects_nine() {
         ShadowMemory::new().write_bytes(0, 9, 0);
+    }
+
+    #[test]
+    fn survives_growth_across_many_pages() {
+        let mut m = ShadowMemory::new();
+        // Enough distinct pages to force several table growths, with
+        // colliding-ish strides.
+        for i in 0..500u64 {
+            let addr = i * (SHADOW_PAGE_SIZE as u64) * 3 + 7;
+            m.write_u8(addr, (i % 251) as u8 + 1);
+        }
+        assert_eq!(m.resident_pages(), 500);
+        for i in 0..500u64 {
+            let addr = i * (SHADOW_PAGE_SIZE as u64) * 3 + 7;
+            assert_eq!(m.read_u8(addr), (i % 251) as u8 + 1, "page {i}");
+            assert_eq!(m.read_u8(addr + 1), 0);
+        }
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = ShadowMemory::new();
+        a.write_u8(0x42, 7);
+        let b = a.clone();
+        a.write_u8(0x42, 9);
+        assert_eq!(b.read_u8(0x42), 7);
+        assert_eq!(a.read_u8(0x42), 9);
     }
 }

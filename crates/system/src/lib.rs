@@ -37,7 +37,9 @@
 pub mod config;
 pub mod run;
 pub mod system;
+pub mod throughput;
 
 pub use config::{Accel, FadeTweaks, SystemConfig, Topology};
 pub use run::{ClassInstrs, RunStats, UtilBreakdown};
 pub use system::{baseline_cycles, run_experiment, MonitoringSystem};
+pub use throughput::{measure_throughput, measure_throughput_matrix, ThroughputReport};

@@ -22,6 +22,11 @@ use crate::run::{ClassInstrs, RunStats, UtilBreakdown};
 /// most 16 filterable events).
 const BURST_GAP: u64 = 16;
 
+/// Trace records pulled from the generator per refill: the commit loop
+/// consumes them one at a time, but generating them in slices keeps the
+/// generator's dispatch out of the per-cycle path.
+const RECORD_BATCH: usize = 64;
+
 /// A complete monitoring system under simulation.
 pub struct MonitoringSystem {
     cfg: SystemConfig,
@@ -35,6 +40,9 @@ pub struct MonitoringSystem {
     sw_queue: BoundedQueue<AppEvent>,
     pending: Option<TraceRecord>,
     cur_token: Option<u64>,
+    /// Batch-refilled trace records (consumed from `record_pos`).
+    record_buf: Vec<TraceRecord>,
+    record_pos: usize,
 
     // Measurement window.
     measuring: bool,
@@ -157,6 +165,8 @@ impl MonitoringSystem {
             sw_queue: BoundedQueue::new(cfg.event_queue),
             pending: None,
             cur_token: None,
+            record_buf: Vec::with_capacity(RECORD_BATCH),
+            record_pos: 0,
             measuring: false,
             m_app_instrs: 0,
             m_monitored: 0,
@@ -260,7 +270,7 @@ impl MonitoringSystem {
         while retired < app_slots {
             let rec = match self.pending.take() {
                 Some(r) => r,
-                None => self.gen.next_record(),
+                None => self.next_trace_record(),
             };
             match rec {
                 TraceRecord::Instr(i) => {
@@ -387,6 +397,19 @@ impl MonitoringSystem {
                 self.util.both += 1;
             }
         }
+    }
+
+    /// The next trace record, through the batch-refilled buffer (same
+    /// sequence as calling the generator directly).
+    fn next_trace_record(&mut self) -> TraceRecord {
+        if self.record_pos == self.record_buf.len() {
+            self.record_buf.clear();
+            self.gen.next_records_into(&mut self.record_buf, RECORD_BATCH);
+            self.record_pos = 0;
+        }
+        let r = self.record_buf[self.record_pos];
+        self.record_pos += 1;
+        r
     }
 
     fn try_enqueue(&mut self, ev: AppEvent) -> Result<(), ()> {

@@ -147,6 +147,18 @@ impl SyntheticProgram {
         self.mallocs
     }
 
+    /// Appends the next `n` trace records to `buf` — the batched feed
+    /// for consumers that drain events in slices (the batched filtering
+    /// path, the experiment harness's refill buffer) instead of one
+    /// generator round trip per record. Produces exactly the sequence
+    /// `n` calls of [`SyntheticProgram::next_record`] would.
+    pub fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize) {
+        buf.reserve(n);
+        for _ in 0..n {
+            buf.push(self.next_record());
+        }
+    }
+
     /// Produces the next trace record.
     pub fn next_record(&mut self) -> TraceRecord {
         if let Some(r) = self.pending.pop_front() {
@@ -554,11 +566,13 @@ impl SyntheticProgram {
             return (VirtAddr::new(layout::HEAP_BASE + off), true);
         }
         // Tainted data (TaintCheck workloads).
-        if !is_store && p.taint_density > 0.0 && self.rng.chance(p.taint_density) {
-            if !self.tainted.is_empty() {
-                let idx = self.rng.below(self.tainted.len() as u64) as usize;
-                return (self.tainted[idx], false);
-            }
+        if !is_store
+            && p.taint_density > 0.0
+            && self.rng.chance(p.taint_density)
+            && !self.tainted.is_empty()
+        {
+            let idx = self.rng.below(self.tainted.len() as u64) as usize;
+            return (self.tainted[idx], false);
         }
         // Stack accesses: a stable fraction of the access stream hits
         // the current frame's locals.
@@ -586,11 +600,9 @@ impl SyntheticProgram {
             if !self.to_init.is_empty() && self.rng.chance(p.first_write_rate) {
                 return (self.to_init.pop_front().expect("checked non-empty"), false);
             }
-        } else if self.rng.chance(p.uninit_rate) {
-            if !self.to_init.is_empty() {
-                let idx = self.rng.below(self.to_init.len() as u64) as usize;
-                return (self.to_init[idx], false);
-            }
+        } else if self.rng.chance(p.uninit_rate) && !self.to_init.is_empty() {
+            let idx = self.rng.below(self.to_init.len() as u64) as usize;
+            return (self.to_init[idx], false);
         }
         // Temporal locality: recently stored addresses (possibly another
         // thread's, for the sharing knob).
