@@ -1,11 +1,16 @@
 //! Runs every experiment of the paper's evaluation section in order,
-//! printing paper-style tables, then measures filtering throughput
-//! across batch sizes and dumps it to `BENCH_pipeline.json` (the
+//! printing paper-style tables, then measures filtering and
+//! full-system throughput and dumps both to `BENCH_pipeline.json` (the
 //! machine-readable seed of the repo's performance trajectory). Scale
 //! the window with FADE_MEASURE / FADE_WARMUP (instructions).
+//!
+//! `--mode batched` (or `FADE_MODE=batched`) runs every experiment
+//! through the batched system engine: several times faster, bit-exact
+//! monitor results, sampled cycle estimates. `--mode cycle` (default)
+//! is the cycle-accurate reference.
 
 use fade_bench::experiments as ex;
-use fade_system::measure_throughput_matrix;
+use fade_system::{measure_system_throughput, measure_throughput_matrix, SystemConfig};
 use fade_trace::bench;
 
 /// (benchmark, monitor) points for the throughput dump: one
@@ -46,15 +51,76 @@ fn pipeline_json() -> String {
             ));
         }
     }
-    format!(
-        "{{\n  \"schema\": \"fade-pipeline-throughput/v1\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
-    )
+    rows.join(",\n")
+}
+
+/// Full-system (commit process + queues + monitor thread) throughput:
+/// cycle-accurate vs batched execution over the same 200k-event trace
+/// prefix. Each measurement also differentially checks bit-exactness
+/// of monitor-visible results between the two engines.
+fn system_json() -> String {
+    let mut rows = Vec::new();
+    for (bench_name, monitor) in PIPELINE_POINTS {
+        let b = bench::by_name(bench_name).unwrap();
+        let r = measure_system_throughput(
+            &b,
+            monitor,
+            &SystemConfig::fade_single_core(),
+            PIPELINE_EVENTS,
+        );
+        println!(
+            "  {bench_name}/{monitor} system: {:>6.2} Mev/s batched, {:>6.2} Mev/s cycle ({:.2}x, {:.0}% fast path, cycle est err {:.1}%)",
+            r.batched_rate() / 1e6,
+            r.cycle_rate() / 1e6,
+            r.speedup(),
+            100.0 * r.fast_path_fraction(),
+            100.0 * r.cycle_error(),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"benchmark\": \"{}\", \"monitor\": \"{}\", \"events\": {}, ",
+                "\"events_per_sec_batched\": {:.0}, \"events_per_sec_cycle\": {:.0}, ",
+                "\"speedup\": {:.3}, \"fast_path_fraction\": {:.4}, ",
+                "\"exact_cycles\": {}, \"estimated_cycles\": {}, \"cycle_error\": {:.4}, ",
+                "\"sample_period\": {}, \"sample_window\": {}}}"
+            ),
+            r.benchmark,
+            r.monitor,
+            r.events,
+            r.batched_rate(),
+            r.cycle_rate(),
+            r.speedup(),
+            r.fast_path_fraction(),
+            r.exact_cycles,
+            r.estimated_cycles,
+            r.cycle_error(),
+            r.sample_period,
+            r.sample_window,
+        ));
+    }
+    rows.join(",\n")
 }
 
 type Section = (&'static str, fn() -> String);
 
 fn main() {
+    // `--mode batched|cycle` selects the execution engine for every
+    // experiment; the env var is how `experiments::run` (and any figure
+    // binary run standalone) picks it up.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--mode") {
+        match args.get(i + 1).map(String::as_str) {
+            Some(m @ ("batched" | "cycle")) => std::env::set_var("FADE_MODE", m),
+            other => {
+                eprintln!("--mode expects 'batched' or 'cycle', got {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "execution mode: {:?} (override with --mode batched|cycle)",
+        fade_bench::exec_mode()
+    );
     let sections: [Section; 8] = [
         ("Figure 2", ex::fig2),
         ("Figure 3", ex::fig3),
@@ -74,7 +140,14 @@ fn main() {
     println!("================================================================");
     println!("Pipeline throughput (batched vs. per-event)");
     println!("================================================================");
-    let json = pipeline_json();
+    let pipeline_rows = pipeline_json();
+    println!("================================================================");
+    println!("System throughput (batched engine vs. cycle engine)");
+    println!("================================================================");
+    let system_rows = system_json();
+    let json = format!(
+        "{{\n  \"schema\": \"fade-pipeline-throughput/v2\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ]\n}}\n",
+    );
     let path = "BENCH_pipeline.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),

@@ -9,11 +9,11 @@
 use fade::FilterMode;
 use fade_monitors::all_monitors;
 use fade_sim::{gmean, CoreKind, QueueDepth};
-use fade_system::{run_experiment, RunStats, SystemConfig};
+use fade_system::{run_experiment_mode, RunStats, SystemConfig};
 use fade_trace::{bench, BenchProfile};
 
 use crate::table::Table;
-use crate::{measure_len, warmup_len};
+use crate::{exec_mode, measure_len, warmup_len};
 
 /// The benchmark suite a monitor is evaluated on (Section 6).
 pub fn suite_for(monitor: &str) -> Vec<BenchProfile> {
@@ -25,7 +25,7 @@ pub fn suite_for(monitor: &str) -> Vec<BenchProfile> {
 }
 
 fn run(b: &BenchProfile, monitor: &str, cfg: &SystemConfig) -> RunStats {
-    run_experiment(b, monitor, cfg, warmup_len(), measure_len())
+    run_experiment_mode(b, monitor, cfg, warmup_len(), measure_len(), exec_mode())
 }
 
 /// Figure 2: application IPC split into monitored and unmonitored.

@@ -31,3 +31,23 @@ pub fn warmup_len() -> u64 {
         .and_then(|v| v.parse().ok())
         .unwrap_or(WARMUP)
 }
+
+/// Execution engine for the experiment binaries, honouring `FADE_MODE`
+/// (`cycle` — the default — or `batched`; `reproduce_all --mode ...`
+/// sets the variable for every experiment it runs). Batched runs are
+/// several times faster with bit-exact monitor results; cycle counts
+/// become sampled estimates (see the README's batched-system-mode
+/// section).
+///
+/// # Panics
+///
+/// Panics on an unrecognized `FADE_MODE` value — silently falling back
+/// to the (much slower, exactly-timed) cycle engine on a typo would be
+/// worse.
+pub fn exec_mode() -> fade_system::ExecMode {
+    match std::env::var("FADE_MODE").as_deref() {
+        Ok("batched") => fade_system::ExecMode::Batched,
+        Ok("cycle") | Ok("") | Err(_) => fade_system::ExecMode::Cycle,
+        Ok(other) => panic!("FADE_MODE must be 'batched' or 'cycle', got {other:?}"),
+    }
+}

@@ -157,6 +157,25 @@ pub struct FadeStats {
 }
 
 impl FadeStats {
+    /// The *functional* event counters — the ones that depend only on
+    /// the program-order event stream and metadata values, never on
+    /// timing. Any two executions of the same stream (per-event vs
+    /// batched, blocking vs non-blocking consumer pacing) must agree
+    /// on these exactly; the cycle/stall counters legitimately differ.
+    /// One definition here so every differential harness checks the
+    /// same contract.
+    pub fn functional_counters(&self) -> [u64; 7] {
+        [
+            self.instr_events,
+            self.filtered,
+            self.partial_hits,
+            self.unfiltered_instr,
+            self.stack_updates,
+            self.high_level,
+            self.shots,
+        ]
+    }
+
     /// Fraction of instruction event *handlers* elided: filtered events
     /// plus partial hits (whose complex handler was replaced by the
     /// short one), over all instruction events — the paper's "filtering
@@ -215,6 +234,16 @@ impl BatchStats {
         self.fast_path += other.fast_path;
         self.fallback += other.fallback;
         self.dispatched += other.dispatched;
+    }
+
+    /// Fraction of batch events that took the short-circuit fast path
+    /// (0 when no events were drained) — the single number callers
+    /// should quote instead of re-deriving it from the raw counters.
+    pub fn fast_path_fraction(&self) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        self.fast_path as f64 / self.events as f64
     }
 }
 
@@ -426,6 +455,17 @@ impl Fade {
     /// to the consumer.)
     pub fn is_idle(&self) -> bool {
         self.event_q.is_empty() && self.state == FaState::Idle && !self.suu.busy()
+    }
+
+    /// Returns `true` when the accelerator sits at a batch boundary:
+    /// nothing in flight ([`Fade::is_idle`]), an empty unfiltered
+    /// queue, and no dispatched-but-uncompleted handlers. This is
+    /// exactly the state [`Fade::run_batch`] requires on entry and
+    /// guarantees on exit, so a cycle-accurate driver can check it
+    /// before handing the event stream to the batched fast path and
+    /// resume bit-exactly afterwards.
+    pub fn quiesced(&self) -> bool {
+        self.is_idle() && self.ufq.is_empty() && self.outstanding.is_empty()
     }
 
     /// Current FSQ occupancy.
@@ -754,6 +794,16 @@ impl Fade {
                 }
             }
             AppEvent::HighLevel(ev) => {
+                // Malloc/free/taint-source handlers bulk-update
+                // metadata, superseding any still-pending critical
+                // update: like stack updates (Section 5.2), they must
+                // wait for the unfiltered queue to drain so no stale
+                // FSQ entry is forwarded over their writes.
+                let bulk = !matches!(ev, HighLevelEvent::ThreadSwitch { .. });
+                if bulk && (!self.ufq.is_empty() || !self.outstanding.is_empty()) {
+                    self.stats.drain_stall_cycles += 1;
+                    return;
+                }
                 self.event_q.pop();
                 self.stats.busy_cycles += 1;
                 let token = self.alloc_token();

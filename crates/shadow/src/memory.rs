@@ -229,7 +229,33 @@ impl ShadowMemory {
     pub fn resident_pages(&self) -> usize {
         self.len
     }
+
+    /// Materialized pages with at least one non-zero byte, sorted by
+    /// page number — the canonical content of the memory, independent
+    /// of hash-table layout and of pages that were touched but hold
+    /// only zeros (which read identically to untouched pages).
+    fn canonical_pages(&self) -> Vec<(u64, &[u8; SHADOW_PAGE_SIZE])> {
+        let mut pages: Vec<(u64, &[u8; SHADOW_PAGE_SIZE])> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|(_, data)| data.iter().any(|&b| b != 0))
+            .map(|(page, data)| (*page, &**data))
+            .collect();
+        pages.sort_unstable_by_key(|&(page, _)| page);
+        pages
+    }
 }
+
+/// Semantic equality: two memories are equal when every metadata byte
+/// reads the same, regardless of table layout or zero-filled pages.
+impl PartialEq for ShadowMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_pages() == other.canonical_pages()
+    }
+}
+
+impl Eq for ShadowMemory {}
 
 #[cfg(test)]
 mod tests {
@@ -317,6 +343,25 @@ mod tests {
             assert_eq!(m.read_u8(addr), (i % 251) as u8 + 1, "page {i}");
             assert_eq!(m.read_u8(addr + 1), 0);
         }
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let mut a = ShadowMemory::new();
+        let mut b = ShadowMemory::new();
+        assert_eq!(a, b);
+        // Insertion order (and therefore table layout) differs.
+        a.write_u8(0x10_000, 1);
+        a.write_u8(0x90_000, 2);
+        b.write_u8(0x90_000, 2);
+        b.write_u8(0x10_000, 1);
+        assert_eq!(a, b);
+        // A page touched but holding only zeros reads like no page.
+        a.write_u8(0x5000_0000, 7);
+        a.write_u8(0x5000_0000, 0);
+        assert_eq!(a, b);
+        b.write_u8(0x90_000, 3);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::regfile::RegMeta;
 /// Both the software handlers (ground truth) and FADE's metadata cache
 /// operate on this state; the accelerator's structures (MD cache, FSQ)
 /// add *timing* on top of it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MetadataState {
     /// Register metadata file.
     pub regs: RegMeta,

@@ -145,6 +145,133 @@ impl RunningMean {
     }
 }
 
+/// A cycle-count estimate extrapolated from sampled timing windows.
+///
+/// Produced by [`SampleEstimator::estimate`]; `lo`/`hi` bound the
+/// estimate with a normal-approximation 95% confidence interval over
+/// the per-window CPI samples (SMARTS-style sampling error bars).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CycleEstimate {
+    /// Point estimate of the extrapolated cycle count.
+    pub cycles: f64,
+    /// Lower 95% confidence bound.
+    pub lo: f64,
+    /// Upper 95% confidence bound.
+    pub hi: f64,
+    /// Half-width of the CPI confidence interval relative to the mean
+    /// CPI: the documented relative error bound of the estimate.
+    /// `INFINITY` when fewer than two windows were sampled (no
+    /// variance information).
+    pub rel_half_width: f64,
+}
+
+/// Extrapolates cycle counts from periodically sampled cycle-accurate
+/// windows — the timing half of the batched execution mode.
+///
+/// Each window contributes an `(instructions, cycles)` pair measured by
+/// running the cycle-accurate engine; unsampled (batched) stretches are
+/// charged the ratio-estimator CPI `Σcycles / Σinstrs`. The error bound
+/// is a 95% normal-approximation confidence interval over the
+/// per-window CPI samples, so callers can report estimates as
+/// `cycles ± rel_half_width`.
+///
+/// Cycles are `f64` so callers can sample *differential* quantities —
+/// the batched system mode records each window's monitoring *overhead*
+/// (measured cycles minus the unimpeded-commit cycles for the same
+/// instructions, which can dip below zero in a lucky window) and keeps
+/// the large, noisy application-side term exact.
+#[derive(Clone, Debug, Default)]
+pub struct SampleEstimator {
+    windows: Vec<(u64, f64)>,
+}
+
+impl SampleEstimator {
+    /// Creates an estimator with no windows.
+    pub fn new() -> Self {
+        SampleEstimator::default()
+    }
+
+    /// Builds an estimator from pre-measured `(instrs, cycles)` windows.
+    pub fn from_windows(windows: &[(u64, f64)]) -> Self {
+        SampleEstimator {
+            windows: windows.to_vec(),
+        }
+    }
+
+    /// Records one sampled window of `instrs` instructions that took
+    /// `cycles` cycles. Windows with zero instructions carry no CPI
+    /// information and are ignored.
+    pub fn record_window(&mut self, instrs: u64, cycles: f64) {
+        if instrs > 0 {
+            self.windows.push((instrs, cycles));
+        }
+    }
+
+    /// The recorded `(instrs, cycles)` windows, in sampling order.
+    pub fn windows(&self) -> &[(u64, f64)] {
+        &self.windows
+    }
+
+    /// Number of recorded windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` when no window has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Ratio-estimator cycles-per-instruction over all windows
+    /// (0 when empty).
+    pub fn cpi(&self) -> f64 {
+        let instrs: u64 = self.windows.iter().map(|&(i, _)| i).sum();
+        let cycles: f64 = self.windows.iter().map(|&(_, c)| c).sum();
+        if instrs == 0 {
+            0.0
+        } else {
+            cycles / instrs as f64
+        }
+    }
+
+    /// Half-width of the 95% confidence interval of the per-window CPI,
+    /// relative to the absolute mean CPI. `INFINITY` with fewer than
+    /// two windows or a zero mean.
+    pub fn rel_half_width(&self) -> f64 {
+        if self.windows.len() < 2 {
+            return f64::INFINITY;
+        }
+        let cpis: Vec<f64> = self.windows.iter().map(|&(i, c)| c / i as f64).collect();
+        let n = cpis.len() as f64;
+        let mean = cpis.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return f64::INFINITY;
+        }
+        let var = cpis.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1.0);
+        1.96 * (var / n).sqrt() / mean.abs()
+    }
+
+    /// Estimated cycles for `instrs` unsampled instructions, with 95%
+    /// confidence bounds. With no windows the estimate is 0 cycles and
+    /// an infinite relative error (the caller sampled nothing).
+    pub fn estimate(&self, instrs: u64) -> CycleEstimate {
+        let cpi = self.cpi();
+        let cycles = cpi * instrs as f64;
+        let rel = self.rel_half_width();
+        let half = if rel.is_finite() {
+            cycles.abs() * rel
+        } else {
+            0.0
+        };
+        CycleEstimate {
+            cycles,
+            lo: cycles - half,
+            hi: cycles + half,
+            rel_half_width: rel,
+        }
+    }
+}
+
 /// Geometric mean of a slice of positive values — the paper reports
 /// gmean slowdowns (Figure 3(c) x-axis label "gmean").
 ///
@@ -245,5 +372,58 @@ mod tests {
     #[should_panic(expected = "gmean requires positive values")]
     fn gmean_rejects_zero() {
         let _ = gmean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn sample_estimator_exact_for_constant_cpi() {
+        let mut e = SampleEstimator::new();
+        for _ in 0..4 {
+            e.record_window(100, 250.0); // CPI 2.5 in every window
+        }
+        assert!((e.cpi() - 2.5).abs() < 1e-12);
+        let est = e.estimate(1_000);
+        assert!((est.cycles - 2_500.0).abs() < 1e-9);
+        // Zero variance: the interval collapses onto the estimate.
+        assert!((est.hi - est.lo).abs() < 1e-9);
+        assert!(est.rel_half_width < 1e-12);
+    }
+
+    #[test]
+    fn sample_estimator_bounds_cover_the_mean() {
+        let e = SampleEstimator::from_windows(&[(100, 200.0), (100, 300.0), (100, 250.0)]);
+        assert!((e.cpi() - 2.5).abs() < 1e-12);
+        let est = e.estimate(100);
+        assert!(est.lo < est.cycles && est.cycles < est.hi);
+        assert!(est.rel_half_width > 0.0 && est.rel_half_width.is_finite());
+    }
+
+    #[test]
+    fn sample_estimator_handles_negative_overhead_windows() {
+        // Differential sampling: a lucky window can have negative
+        // overhead; the estimator must keep working on signed cycles.
+        let e = SampleEstimator::from_windows(&[(100, -10.0), (100, 30.0), (100, 10.0)]);
+        assert!((e.cpi() - 0.1).abs() < 1e-12);
+        let est = e.estimate(1_000);
+        assert!((est.cycles - 100.0).abs() < 1e-9);
+        assert!(est.lo < est.cycles && est.cycles < est.hi);
+    }
+
+    #[test]
+    fn sample_estimator_degenerate_cases() {
+        let mut e = SampleEstimator::new();
+        assert!(e.is_empty());
+        assert_eq!(e.estimate(500).cycles, 0.0);
+        assert_eq!(e.cpi(), 0.0);
+        // Zero-instruction windows are discarded.
+        e.record_window(0, 999.0);
+        assert!(e.is_empty());
+        // A single window gives a point estimate with no error bound.
+        e.record_window(10, 30.0);
+        assert_eq!(e.len(), 1);
+        let est = e.estimate(10);
+        assert!((est.cycles - 30.0).abs() < 1e-12);
+        assert!(est.rel_half_width.is_infinite());
+        assert_eq!(est.lo, est.cycles);
+        assert_eq!(est.hi, est.cycles);
     }
 }

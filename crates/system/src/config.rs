@@ -49,6 +49,20 @@ pub struct SystemConfig {
     pub unfiltered_queue: QueueDepth,
     /// Simulation seed (workload and commit process).
     pub seed: u64,
+    /// Batched execution mode: length of one sampling period, in
+    /// monitored events. Each period runs `sample_period -
+    /// sample_window` events through the batched fast path and the
+    /// remaining `sample_window` through the cycle-accurate engine.
+    /// `1` degenerates to pure cycle-accurate execution; a period no
+    /// smaller than the trace degenerates to pure batching (no timing
+    /// samples). Ignored by [`MonitoringSystem::run_instrs`].
+    ///
+    /// [`MonitoringSystem::run_instrs`]: crate::MonitoringSystem::run_instrs
+    pub sample_period: u64,
+    /// Batched execution mode: cycle-accurate events per sampling
+    /// period (clamped to `sample_period`). Larger windows cost
+    /// throughput but tighten the cycle estimate.
+    pub sample_window: u64,
     /// Section 3.2's idealized study: the filtering accelerator
     /// consumes exactly one event per cycle (no metadata misses, free
     /// software handlers, unbounded unfiltered queue). Used by the
@@ -71,6 +85,19 @@ pub struct FadeTweaks {
 }
 
 impl SystemConfig {
+    /// Default sampling period of batched execution (monitored events):
+    /// one cycle-accurate window per 16K events.
+    pub const DEFAULT_SAMPLE_PERIOD: u64 = 16_384;
+    /// Default cycle-accurate window length (monitored events): 1/4 of
+    /// the period is simulated exactly, which keeps the extrapolated
+    /// cycle estimate within a few percent of a full cycle-accurate run
+    /// while the other 3/4 of the stream takes the batched fast path.
+    /// Windows need to be long: each one restarts from drained queues,
+    /// and both commit run/stall phases and queue-congestion episodes
+    /// play out over thousands of events — short windows truncate them
+    /// and bias the sampled overhead low.
+    pub const DEFAULT_SAMPLE_WINDOW: u64 = 4_096;
+
     /// The headline configuration: single-core dual-threaded 4-way OoO
     /// with Non-Blocking FADE (used for Figure 9 and Table 2).
     pub fn fade_single_core() -> Self {
@@ -81,6 +108,8 @@ impl SystemConfig {
             event_queue: QueueDepth::Bounded(32),
             unfiltered_queue: QueueDepth::Bounded(16),
             seed: 0x5eed,
+            sample_period: Self::DEFAULT_SAMPLE_PERIOD,
+            sample_window: Self::DEFAULT_SAMPLE_WINDOW,
             ideal_consumer: false,
             tweaks: FadeTweaks::default(),
         }
@@ -134,6 +163,20 @@ impl SystemConfig {
     /// Replaces the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the batched-mode sampling period (monitored events per
+    /// period; clamped to at least 1 at use).
+    pub fn with_sample_period(mut self, period: u64) -> Self {
+        self.sample_period = period;
+        self
+    }
+
+    /// Replaces the batched-mode cycle-accurate window length
+    /// (monitored events per period simulated exactly).
+    pub fn with_sample_window(mut self, window: u64) -> Self {
+        self.sample_window = window;
         self
     }
 
@@ -200,6 +243,17 @@ mod tests {
         // with_mode on unaccelerated is a no-op.
         let u = SystemConfig::unaccelerated_single_core().with_mode(FilterMode::Blocking);
         assert!(matches!(u.accel, Accel::None));
+    }
+
+    #[test]
+    fn sampling_knobs() {
+        let c = SystemConfig::fade_single_core();
+        assert_eq!(c.sample_period, SystemConfig::DEFAULT_SAMPLE_PERIOD);
+        assert_eq!(c.sample_window, SystemConfig::DEFAULT_SAMPLE_WINDOW);
+        assert!(c.sample_window <= c.sample_period);
+        let c = c.with_sample_period(64).with_sample_window(16);
+        assert_eq!(c.sample_period, 64);
+        assert_eq!(c.sample_window, 16);
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub mod system;
 pub mod throughput;
 
 pub use config::{Accel, FadeTweaks, SystemConfig, Topology};
-pub use run::{ClassInstrs, RunStats, UtilBreakdown};
-pub use system::{baseline_cycles, run_experiment, MonitoringSystem};
-pub use throughput::{measure_throughput, measure_throughput_matrix, ThroughputReport};
+pub use run::{ClassInstrs, RunStats, SamplingSummary, UtilBreakdown};
+pub use system::{
+    baseline_cycles, run_experiment, run_experiment_mode, ExecMode, MonitoringSystem,
+};
+pub use throughput::{
+    measure_system_throughput, measure_throughput, measure_throughput_matrix,
+    SystemThroughputReport, ThroughputReport,
+};

@@ -67,6 +67,40 @@ impl UtilBreakdown {
     }
 }
 
+/// How a batched run's cycle count was estimated: the sampled
+/// cycle-accurate windows and the extrapolation's 95% confidence bound
+/// (see [`fade_sim::SampleEstimator`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SamplingSummary {
+    /// Cycle-accurate windows the estimate is built from.
+    pub windows: usize,
+    /// Instructions retired inside sampled windows (simulated exactly).
+    pub sampled_instrs: u64,
+    /// Cycles simulated exactly (sampled windows and drains).
+    pub sampled_cycles: u64,
+    /// Instructions retired on the batched path (extrapolated).
+    pub extrapolated_instrs: u64,
+    /// Monitored events drained on the batched path (extrapolated).
+    pub extrapolated_events: u64,
+    /// Exact base cycles of the batched stretches: per chunk, the
+    /// binding constraint of the application side (replayed unimpeded
+    /// on the real commit process) and the handler side (dispatched
+    /// events charged at the monitor thread's standalone IPC).
+    pub extrapolated_base_cycles: u64,
+    /// Sampled *residual* overhead (queueing, SMT interference,
+    /// accelerator stalls, imperfect overlap) charged per batched
+    /// event on top of the exact base.
+    pub residual_per_event: f64,
+    /// Relative half-width of the 95% confidence interval on
+    /// `residual_per_event` (infinite when fewer than two windows were
+    /// sampled).
+    pub rel_half_width: f64,
+    /// Lower confidence bound on the total cycle count.
+    pub cycles_lo: u64,
+    /// Upper confidence bound on the total cycle count.
+    pub cycles_hi: u64,
+}
+
 /// Everything measured in one experiment run.
 #[derive(Clone, Debug)]
 pub struct RunStats {
@@ -84,11 +118,15 @@ pub struct RunStats {
     pub stack_events: u64,
     /// High-level events produced.
     pub high_level_events: u64,
-    /// Cycles of the measured window.
+    /// Cycles of the measured window. Exact for cycle-accurate runs; a
+    /// sampled estimate (see `sampling`) for batched runs.
     pub cycles: u64,
     /// Cycles an unmonitored (application-only) system needs for the
     /// same instruction count.
     pub baseline_cycles: u64,
+    /// Present when part of the window ran batched: how the cycle
+    /// estimate was sampled and its confidence bounds.
+    pub sampling: Option<SamplingSummary>,
     /// Accelerator statistics (FADE systems only), deltas over the
     /// measured window.
     pub fade: Option<FadeStats>,
@@ -173,6 +211,7 @@ mod tests {
             high_level_events: 0,
             cycles: 2000,
             baseline_cycles: 1000,
+            sampling: None,
             fade: None,
             class_instrs: ClassInstrs::default(),
             occupancy: LogHistogram::new(),

@@ -7,15 +7,18 @@
 //! software handlers on the monitor hardware thread — with issue
 //! bandwidth shared through [`SmtArbiter`] on the single-core system.
 
-use fade::{Fade, FadeConfig, FadeStats, UnfilteredEvent};
+use fade::{BatchStats, Fade, FadeConfig, FadeStats, InvId, UnfilteredEvent};
 use fade_isa::{instr_event_for, AppEvent, HighLevelEvent};
 use fade_monitors::{monitor_by_name, EventClass, Monitor};
 use fade_shadow::MetadataState;
-use fade_sim::{BoundedQueue, CommitModel, CoreKind, HandlerExec, LogHistogram, Rng, SmtArbiter};
+use fade_sim::{
+    BoundedQueue, CommitModel, CoreKind, HandlerExec, LogHistogram, Rng, SampleEstimator,
+    SmtArbiter,
+};
 use fade_trace::{BenchProfile, SyntheticProgram, TraceRecord};
 
 use crate::config::{Accel, SystemConfig, Topology};
-use crate::run::{ClassInstrs, RunStats, UtilBreakdown};
+use crate::run::{ClassInstrs, RunStats, SamplingSummary, UtilBreakdown};
 
 /// Gap (in filterable events) that separates unfiltered bursts
 /// (Section 3.4 defines a burst as unfiltered events separated by at
@@ -27,11 +30,70 @@ const BURST_GAP: u64 = 16;
 /// generator's dispatch out of the per-cycle path.
 const RECORD_BATCH: usize = 64;
 
+/// Default events handed to [`Fade::run_batch_with`] per call in
+/// batched mode when no sampling window is configured. With sampling,
+/// chunks match the recorded window interior instead, so the exact
+/// base term (`max` of app and handler cycles, a concave aggregate) is
+/// evaluated at the same granularity the residual was calibrated at.
+/// Chunks are also cut at thread switches and sampling boundaries.
+const BATCH_CHUNK: u64 = 1024;
+
+
+/// Where a [`MonitoringSystem`] gets its trace records.
+///
+/// `Synthetic` generates on the fly (the default); `Replay` walks a
+/// pre-generated buffer — for deterministic replay of a recorded
+/// trace, and for throughput measurements that want generation cost
+/// out of the timed region.
+enum TraceSource {
+    /// On-the-fly synthetic generation.
+    Synthetic(Box<SyntheticProgram>),
+    /// Replay of a pre-generated record buffer.
+    Replay { records: Vec<TraceRecord>, pos: usize },
+}
+
+impl TraceSource {
+    /// Appends up to `n` records to `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replay buffer is exhausted (the driver asked for
+    /// more trace than was recorded).
+    fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize) {
+        match self {
+            TraceSource::Synthetic(gen) => gen.next_records_into(buf, n),
+            TraceSource::Replay { records, pos } => {
+                assert!(*pos < records.len(), "replay trace exhausted");
+                let end = (*pos + n).min(records.len());
+                buf.extend_from_slice(&records[*pos..end]);
+                *pos = end;
+            }
+        }
+    }
+}
+
+/// How the system executes a stretch of the trace.
+///
+/// `Cycle` is the reference engine: every event walks the full
+/// fetch→filter→dispatch machinery one cycle at a time. `Batched`
+/// drains most events through [`Fade::run_batch`] and periodically
+/// falls back to the cycle engine to sample timing
+/// ([`MonitoringSystem::run_batched`]); monitor-visible results are
+/// bit-exact with `Cycle`, cycle counts are sampled estimates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Cycle-accurate execution ([`MonitoringSystem::run_instrs`]).
+    Cycle,
+    /// Batched execution with sampled timing
+    /// ([`MonitoringSystem::run_batched`]).
+    Batched,
+}
+
 /// A complete monitoring system under simulation.
 pub struct MonitoringSystem {
     cfg: SystemConfig,
     monitor: Box<dyn Monitor>,
-    gen: SyntheticProgram,
+    source: TraceSource,
     commit: CommitModel,
     arbiter: SmtArbiter,
     handler: HandlerExec,
@@ -43,6 +105,60 @@ pub struct MonitoringSystem {
     /// Batch-refilled trace records (consumed from `record_pos`).
     record_buf: Vec<TraceRecord>,
     record_pos: usize,
+
+    // Batched execution mode (`run_batched`).
+    /// Monitored events accepted so far (both engines): the clock the
+    /// sampling schedule is phased against.
+    events_seen: u64,
+    /// `step` skips the application side (drain: the producer is
+    /// paused, the monitor side gets the whole core).
+    producer_paused: bool,
+    /// Hard cap on retired instructions (exact-stop cycle execution).
+    instr_cap: Option<u64>,
+    /// Sampled monitoring-overhead windows feeding the timing
+    /// extrapolation: each entry is `(events, measured cycles −
+    /// unimpeded commit cycles)` for one cycle-accurate window.
+    /// Overhead scales with monitored events (handler and stall work is
+    /// per event), so extrapolation is per event — per-instruction
+    /// extrapolation would harmonically under-weight event-sparse
+    /// regions.
+    estimator: SampleEstimator,
+    /// Index into `estimator` windows at `start_measure`.
+    measure_from: usize,
+    /// Exact base cycles of batched stretches since construction: per
+    /// chunk, `max(app cycles, handler cycles)` — the app side
+    /// fast-forwarded through the *real* commit process unimpeded (so
+    /// the whole run consumes one continuous run/stall realization and
+    /// the dominant phase noise stays exact), the handler side charged
+    /// at the monitor thread's standalone IPC (handler work is too
+    /// bursty to sample). The max models the binding constraint: an
+    /// app-bound stretch hides handler work and a monitor-bound
+    /// stretch hides the app; the sampled residual captures imperfect
+    /// overlap, queueing and stalls.
+    batch_base_cycles: u64,
+    /// Exact base cycles of batched stretches in the measured window.
+    m_batch_base_cycles: u64,
+    /// Running total of *estimated* handler cycles (`ceil(cost /
+    /// standalone IPC)`) for every event the cycle engine's consumer
+    /// starts. Sampled windows subtract the same quantity the batched
+    /// base charges, so the residual calibrates out the difference
+    /// between estimated and real handler throughput (SMT sharing).
+    handler_est_cycles: u64,
+    /// Instructions retired on the batched path since construction.
+    batch_instrs_total: u64,
+    /// Instructions retired on the batched path in the measured window.
+    m_batch_instrs: u64,
+    /// Monitored events drained on the batched path since construction.
+    batch_events_total: u64,
+    /// Monitored events drained on the batched path while measuring.
+    m_batch_events: u64,
+    /// Accumulated fast-path statistics of every `run_batch` call.
+    batch_stats: BatchStats,
+    /// Staging buffer for batch chunks (reused across segments).
+    batch_buf: Vec<AppEvent>,
+    /// Deferred invariant-register writes from thread switches handled
+    /// inside a batch chunk (applied when the chunk returns).
+    inv_buf: Vec<(InvId, u64)>,
 
     // Measurement window.
     measuring: bool,
@@ -156,7 +272,7 @@ impl MonitoringSystem {
         };
         MonitoringSystem {
             monitor,
-            gen: SyntheticProgram::new(bench, cfg.seed),
+            source: TraceSource::Synthetic(Box::new(SyntheticProgram::new(bench, cfg.seed))),
             commit: CommitModel::new(cfg.core, bench.commit, Rng::seed_from(cfg.seed ^ 0xbace)),
             arbiter: SmtArbiter::new(),
             handler: HandlerExec::new(cfg.core),
@@ -167,6 +283,21 @@ impl MonitoringSystem {
             cur_token: None,
             record_buf: Vec::with_capacity(RECORD_BATCH),
             record_pos: 0,
+            events_seen: 0,
+            producer_paused: false,
+            instr_cap: None,
+            estimator: SampleEstimator::new(),
+            measure_from: 0,
+            batch_base_cycles: 0,
+            m_batch_base_cycles: 0,
+            handler_est_cycles: 0,
+            batch_instrs_total: 0,
+            m_batch_instrs: 0,
+            batch_events_total: 0,
+            m_batch_events: 0,
+            batch_stats: BatchStats::default(),
+            batch_buf: Vec::with_capacity(BATCH_CHUNK as usize),
+            inv_buf: Vec::new(),
             measuring: false,
             m_app_instrs: 0,
             m_monitored: 0,
@@ -186,6 +317,27 @@ impl MonitoringSystem {
             total_cycles: 0,
             cfg: *cfg,
         }
+    }
+
+    /// Builds a system that replays a pre-generated record buffer
+    /// instead of generating its trace on the fly — deterministic
+    /// replay of a recorded trace, with generation cost out of the
+    /// execution path. The driver must not run past the end of the
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitor_name` is unknown or the monitor's FADE
+    /// program fails validation.
+    pub fn from_records(
+        bench: &BenchProfile,
+        monitor_name: &str,
+        cfg: &SystemConfig,
+        records: Vec<TraceRecord>,
+    ) -> Self {
+        let mut sys = Self::new(bench, monitor_name, cfg);
+        sys.source = TraceSource::Replay { records, pos: 0 };
+        sys
     }
 
     /// The monitor driving this system (bug reports, etc.).
@@ -208,6 +360,54 @@ impl MonitoringSystem {
         self.total_instrs
     }
 
+    /// Monitored events accepted so far (instruction, stack and
+    /// high-level events, across both execution engines).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Accumulated fast-path statistics of every batched stretch run so
+    /// far (all counters zero if only the cycle engine ran).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch_stats
+    }
+
+    /// Accelerator statistics (`None` for unaccelerated systems).
+    pub fn fade_stats(&self) -> Option<FadeStats> {
+        self.fade.as_ref().map(|f| *f.stats())
+    }
+
+    /// The `(events, residual overhead cycles)` windows sampled by
+    /// batched execution so far: per window, the measured cycles minus
+    /// the unimpeded commit-model cycles for the same instructions and
+    /// minus the handler-execution cycles — what is left is queueing,
+    /// SMT interference and accelerator stalls (empty if only the
+    /// cycle engine ran).
+    pub fn sampled_windows(&self) -> &[(u64, f64)] {
+        self.estimator.windows()
+    }
+
+    /// Total cycles including the extrapolation for batched stretches:
+    /// exact simulated cycles, plus the exact base (binding constraint
+    /// of replayed app cycles and handler cycles) of batched
+    /// stretches, plus the sampled per-event residual overhead. Equals
+    /// [`MonitoringSystem::cycles`] when only the cycle engine ran.
+    pub fn estimated_total_cycles(&self) -> u64 {
+        let residual = self.estimator.estimate(self.batch_events_total).cycles;
+        let exact = self.batch_base_cycles as f64;
+        self.total_cycles + (exact + residual).max(0.0).round() as u64
+    }
+
+    /// `true` when nothing is in flight anywhere: accelerator (or
+    /// software queue) empty and the monitor-thread handler idle.
+    pub fn quiesced(&self) -> bool {
+        !self.handler.busy()
+            && match &self.fade {
+                Some(f) => f.quiesced(),
+                None => self.sw_queue.is_empty(),
+            }
+    }
+
     /// Starts the measurement window: counters collected from now on.
     pub fn start_measure(&mut self) {
         self.measuring = true;
@@ -222,6 +422,10 @@ impl MonitoringSystem {
         self.bursts = LogHistogram::new();
         self.util = UtilBreakdown::default();
         self.fade_snapshot = self.fade.as_ref().map(|f| *f.stats());
+        self.m_batch_instrs = 0;
+        self.m_batch_events = 0;
+        self.m_batch_base_cycles = 0;
+        self.measure_from = self.estimator.len();
     }
 
     /// Runs until `n` more application instructions retire.
@@ -244,79 +448,439 @@ impl MonitoringSystem {
         }
     }
 
+    /// Runs until exactly `n` more application instructions retire,
+    /// cycle-accurately.
+    ///
+    /// Unlike [`MonitoringSystem::run_instrs`], which may overshoot by
+    /// up to a commit width, this caps the last cycle's retirement so
+    /// the trace position lands exactly on the target — the stop
+    /// discipline batched mode uses, exposed so cycle-mode runs can be
+    /// compared against batched runs over an identical trace prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to make forward progress.
+    pub fn run_instrs_exact(&mut self, n: u64) {
+        let target = self.total_instrs + n;
+        self.run_cycle_exact(target, u64::MAX);
+    }
+
+    /// Batched execution: retires exactly `n` more application
+    /// instructions, draining monitored events through
+    /// [`Fade::run_batch`] and periodically dropping back to the
+    /// cycle-accurate engine to sample timing.
+    ///
+    /// Each sampling period of `cfg.sample_period` monitored events
+    /// runs its first `sample_period - sample_window` events through
+    /// the batched fast path and its last `sample_window` events
+    /// through [`MonitoringSystem::step`]; the measured window
+    /// (including its trailing queue drain) feeds a
+    /// [`SampleEstimator`], and batched stretches are charged the
+    /// sampled CPI in [`MonitoringSystem::estimated_total_cycles`] and
+    /// [`MonitoringSystem::finish`].
+    ///
+    /// Monitor-visible results — final [`MetadataState`], violation
+    /// reports, and the accelerator's functional event counters — are
+    /// bit-exact with cycle-accurate execution for every sampling
+    /// period, because both engines filter, update and dispatch in
+    /// program order (the differential test harness enforces this).
+    /// Only cycle counts and the occupancy/distance/burst histograms
+    /// (recorded in sampled windows only) are approximate.
+    ///
+    /// `sample_period <= sample_window` (e.g. the K=1 degenerate case)
+    /// runs fully cycle-accurately; a period larger than the trace
+    /// never reaches a sampling window and runs fully batched.
+    /// Unaccelerated systems have no hardware fast path and always run
+    /// cycle-accurately.
+    ///
+    /// Calls compose: `run_batched(a)` then `run_batched(b)` consumes
+    /// the same trace prefix, with the same monitor-visible results, as
+    /// `run_batched(a + b)` — the sampling schedule is phased against
+    /// the global event count, not the call boundary.
+    pub fn run_batched(&mut self, n: u64) {
+        let target = self.total_instrs + n;
+        let period = self.cfg.sample_period.max(1);
+        let window = self.cfg.sample_window.min(period);
+        if self.fade.is_none() || window >= period {
+            // No batched fast path to take: pure cycle-accurate
+            // execution with the exact-stop discipline.
+            self.run_cycle_exact(target, u64::MAX);
+            return;
+        }
+        let batch_len = period - window;
+        while self.total_instrs < target {
+            let pos = self.events_seen % period;
+            if pos < batch_len {
+                if !self.quiesced() {
+                    self.drain();
+                }
+                self.run_batch_segment(target, batch_len - pos);
+            } else {
+                // Sampled window: cycle-accurate to the period end,
+                // then drain so the batched path resumes bit-exactly.
+                // The window is recorded whole — from the batch
+                // boundary's empty queues to the drain's last cycle — a
+                // self-contained unit whose every event's work is paid
+                // inside it. The recorded quantity is its *residual*
+                // overhead: measured cycles minus an unimpeded replay
+                // of the commit process (exact application phases) and
+                // minus estimated handler-execution cycles (exact
+                // bursty work), whichever of the two binds.
+                let window_events = period - pos;
+                let window_end = self.events_seen + window_events;
+                let events0 = self.events_seen;
+                let instrs0 = self.total_instrs;
+                let cycles0 = self.total_cycles;
+                let handler0 = self.handler_est_cycles;
+                let mut baseline_commit = self.commit.clone();
+                self.run_cycle_exact(target, window_end);
+                if self.events_seen >= window_end && self.events_seen > events0 {
+                    self.drain();
+                    let di = self.total_instrs - instrs0;
+                    let dc = (self.total_cycles - cycles0) as f64;
+                    let dh = (self.handler_est_cycles - handler0) as f64;
+                    let ff = unimpeded_commit_cycles(&mut baseline_commit, di) as f64;
+                    self.estimator
+                        .record_window(self.events_seen - events0, dc - ff.max(dh));
+                }
+            }
+        }
+    }
+
+    /// Runs the monitoring side with the application paused until
+    /// nothing is in flight (queues empty, handlers completed).
+    /// Idempotent; a no-op when already quiesced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to quiesce (a simulator bug).
+    pub fn drain(&mut self) {
+        self.producer_paused = true;
+        let mut guard = 0u64;
+        while !self.quiesced() {
+            self.step();
+            guard += 1;
+            assert!(guard < 10_000_000, "drain failed to quiesce");
+        }
+        self.producer_paused = false;
+        // The queues are empty now; any pending record re-enters
+        // through the normal paths.
+        self.last_blocked = false;
+    }
+
+    /// Cycle-accurate execution until `instr_target` instructions have
+    /// retired or `event_target` monitored events have been accepted,
+    /// whichever comes first, never overshooting `instr_target`.
+    fn run_cycle_exact(&mut self, instr_target: u64, event_target: u64) {
+        if self.total_instrs >= instr_target {
+            return;
+        }
+        self.instr_cap = Some(instr_target);
+        let cycle_cap = self.total_cycles + 200_000 + (instr_target - self.total_instrs) * 400;
+        while self.total_instrs < instr_target && self.events_seen < event_target {
+            self.step();
+            assert!(
+                self.total_cycles < cycle_cap,
+                "no forward progress: {} instrs after {} cycles",
+                self.total_instrs,
+                self.total_cycles
+            );
+        }
+        self.instr_cap = None;
+    }
+
+    /// One batched stretch: pulls trace records and drains up to
+    /// `event_budget` monitored events through the accelerator's
+    /// batched fast path, stopping early at `instr_target`. The
+    /// accelerator must be quiesced on entry.
+    fn run_batch_segment(&mut self, instr_target: u64, event_budget: u64) {
+        // Chunk at the granularity the residual estimator samples at
+        // (one full window), so the concave base aggregate is
+        // consistent between exact and sampled stretches.
+        let window = self.cfg.sample_window.min(self.cfg.sample_period.max(1));
+        let chunk_cap = if window > 0 { window } else { BATCH_CHUNK };
+        let monitors_stack = self.monitor.monitors_stack();
+        let mut budget = event_budget;
+        while budget > 0 && self.total_instrs < instr_target {
+            // ---- Collect one chunk of monitored events. ----
+            let mut chunk = std::mem::take(&mut self.batch_buf);
+            chunk.clear();
+            let cap = budget.min(chunk_cap);
+            let mut chunk_instrs = 0u64;
+            // A record the cycle engine popped but could not enqueue
+            // re-enters through the chunk (cutting it if it is a
+            // thread switch, like the in-place path below).
+            let mut cut_early = false;
+            if let Some(rec) = self.pending.take() {
+                cut_early = self.collect_record(rec, &mut chunk, &mut chunk_instrs);
+            }
+            'collect: while !cut_early
+                && (chunk.len() as u64) < cap
+                && self.total_instrs < instr_target
+            {
+                if self.record_pos == self.record_buf.len() {
+                    // Larger refills than the cycle engine's: the batch
+                    // path consumes records in bulk.
+                    self.record_buf.clear();
+                    self.source.next_records_into(&mut self.record_buf, 1024);
+                    self.record_pos = 0;
+                }
+                // Records are consumed in place (no per-record copy out
+                // of the buffer); `record_pos` only advances past a
+                // record once it is accepted, so chunk/target cuts
+                // leave the remainder for the next consumer.
+                while self.record_pos < self.record_buf.len() {
+                    if (chunk.len() as u64) >= cap || self.total_instrs >= instr_target {
+                        break 'collect;
+                    }
+                    match &self.record_buf[self.record_pos] {
+                        TraceRecord::Instr(i) => {
+                            self.total_instrs += 1;
+                            chunk_instrs += 1;
+                            if self.measuring {
+                                self.m_app_instrs += 1;
+                            }
+                            if self.monitor.selects(i) {
+                                chunk.push(AppEvent::Instr(instr_event_for(i)));
+                                self.events_seen += 1;
+                                if self.measuring {
+                                    self.m_monitored += 1;
+                                }
+                            }
+                        }
+                        TraceRecord::Stack(s) => {
+                            if monitors_stack {
+                                chunk.push(AppEvent::StackUpdate(*s));
+                                self.events_seen += 1;
+                                if self.measuring {
+                                    self.m_stack += 1;
+                                }
+                            }
+                        }
+                        TraceRecord::High(h) => {
+                            let switch = matches!(h, HighLevelEvent::ThreadSwitch { .. });
+                            chunk.push(AppEvent::HighLevel(*h));
+                            self.events_seen += 1;
+                            if self.measuring {
+                                self.m_high += 1;
+                            }
+                            if switch {
+                                // Cut the chunk so the monitor's
+                                // invariant-register updates land
+                                // before the next event is filtered —
+                                // same order as the cycle engine's
+                                // dispatch path.
+                                self.record_pos += 1;
+                                break 'collect;
+                            }
+                        }
+                    }
+                    self.record_pos += 1;
+                }
+            }
+            budget -= chunk.len() as u64;
+            self.batch_instrs_total += chunk_instrs;
+            self.batch_events_total += chunk.len() as u64;
+            // Fast-forward the commit process over the stretch so the
+            // run consumes one continuous run/stall realization: this
+            // is the stretch's exact application-side cycle cost.
+            let ff = unimpeded_commit_cycles(&mut self.commit, chunk_instrs);
+            if self.measuring {
+                self.m_batch_instrs += chunk_instrs;
+                self.m_batch_events += chunk.len() as u64;
+            }
+
+            // ---- Drain the chunk through the accelerator. ----
+            if !chunk.is_empty() {
+                let mut fade = self.fade.take().expect("batched segments require FADE");
+                let monitor = &mut self.monitor;
+                let class_instrs = &mut self.class_instrs;
+                let inv_buf = &mut self.inv_buf;
+                let measuring = self.measuring;
+                let ideal = self.cfg.ideal_consumer;
+                // Monitor-thread execution rate when it has the core
+                // (the steady state of a loaded system; deviations are
+                // absorbed by the sampled residual).
+                let hipc = self.cfg.core.handler_ipc().min(self.cfg.core.width() as f64);
+                let mut handler_cycles = 0u64;
+                let bs = fade.run_batch_with(&chunk, &mut self.state, |uf, st| {
+                    apply_unfiltered(monitor.as_mut(), &uf, st, inv_buf);
+                    // Same handler-cost attribution as the cycle
+                    // engine's consumer.
+                    let cost = if ideal {
+                        1
+                    } else {
+                        unfiltered_cost(monitor.as_ref(), &uf).max(1)
+                    } as u64;
+                    handler_cycles += (cost as f64 / hipc).ceil() as u64;
+                    if measuring {
+                        match uf.event {
+                            AppEvent::Instr(_) => {
+                                if uf.partial_hit {
+                                    class_instrs.partial += cost;
+                                } else {
+                                    class_instrs.complex += cost;
+                                }
+                            }
+                            AppEvent::HighLevel(_) => class_instrs.high_level += cost,
+                            AppEvent::StackUpdate(_) => class_instrs.stack += cost,
+                        }
+                    }
+                });
+                for (id, v) in self.inv_buf.drain(..) {
+                    fade.write_invariant(id, v);
+                }
+                self.fade = Some(fade);
+                self.batch_stats.merge(&bs);
+                let base = ff.max(handler_cycles);
+                self.batch_base_cycles += base;
+                if self.measuring {
+                    self.m_batch_base_cycles += base;
+                }
+            } else {
+                self.batch_base_cycles += ff;
+                if self.measuring {
+                    self.m_batch_base_cycles += ff;
+                }
+            }
+            self.batch_buf = chunk;
+        }
+    }
+
+    /// Folds one out-of-buffer record (the cycle engine's blocked
+    /// `pending`) into a batch chunk. Returns `true` when the record
+    /// was a thread switch, which must cut the chunk.
+    fn collect_record(
+        &mut self,
+        rec: TraceRecord,
+        chunk: &mut Vec<AppEvent>,
+        chunk_instrs: &mut u64,
+    ) -> bool {
+        match rec {
+            TraceRecord::Instr(i) => {
+                self.total_instrs += 1;
+                *chunk_instrs += 1;
+                if self.measuring {
+                    self.m_app_instrs += 1;
+                }
+                if self.monitor.selects(&i) {
+                    chunk.push(AppEvent::Instr(instr_event_for(&i)));
+                    self.events_seen += 1;
+                    if self.measuring {
+                        self.m_monitored += 1;
+                    }
+                }
+                false
+            }
+            TraceRecord::Stack(s) => {
+                if self.monitor.monitors_stack() {
+                    chunk.push(AppEvent::StackUpdate(s));
+                    self.events_seen += 1;
+                    if self.measuring {
+                        self.m_stack += 1;
+                    }
+                }
+                false
+            }
+            TraceRecord::High(h) => {
+                chunk.push(AppEvent::HighLevel(h));
+                self.events_seen += 1;
+                if self.measuring {
+                    self.m_high += 1;
+                }
+                matches!(h, HighLevelEvent::ThreadSwitch { .. })
+            }
+        }
+    }
+
     /// Advances the system one cycle.
     pub fn step(&mut self) {
         self.total_cycles += 1;
         let monitor_busy_at_start = self.handler.busy();
+        let width = self.cfg.core.width();
+        let mut blocked = false;
 
         // ---- Application thread: commit and enqueue. ----
-        self.commit.tick();
-        let want = self.commit.retirable();
-        let smt_want = if self.last_blocked { 0 } else { want };
-        let width = self.cfg.core.width();
-        let (mut app_slots, monitor_slots) = match self.cfg.topology {
-            Topology::TwoCore => (want, width),
-            Topology::SingleCoreDualThread => {
-                self.arbiter
-                    .arbitrate(width, smt_want, monitor_busy_at_start)
-            }
-        };
-        if self.last_blocked {
-            // Retry the blocked enqueue without consuming issue slots.
-            app_slots = app_slots.max(1);
-        }
-        let mut retired = 0u32;
-        let mut blocked = false;
-        while retired < app_slots {
-            let rec = match self.pending.take() {
-                Some(r) => r,
-                None => self.next_trace_record(),
+        let monitor_slots = if self.producer_paused {
+            // Draining: the application thread is frozen mid-trace and
+            // the monitor side gets the whole core.
+            width
+        } else {
+            self.commit.tick();
+            let want = self.commit.retirable();
+            let smt_want = if self.last_blocked { 0 } else { want };
+            let (mut app_slots, monitor_slots) = match self.cfg.topology {
+                Topology::TwoCore => (want, width),
+                Topology::SingleCoreDualThread => {
+                    self.arbiter
+                        .arbitrate(width, smt_want, monitor_busy_at_start)
+                }
             };
-            match rec {
-                TraceRecord::Instr(i) => {
-                    if self.monitor.selects(&i) {
-                        let ev = AppEvent::Instr(instr_event_for(&i));
-                        if self.try_enqueue(ev).is_err() {
+            if self.last_blocked {
+                // Retry the blocked enqueue without consuming issue slots.
+                app_slots = app_slots.max(1);
+            }
+            if let Some(cap) = self.instr_cap {
+                // Exact-stop execution: never retire past the cap.
+                let left = cap.saturating_sub(self.total_instrs);
+                app_slots = app_slots.min(left.min(u32::MAX as u64) as u32);
+            }
+            let mut retired = 0u32;
+            while retired < app_slots {
+                let rec = match self.pending.take() {
+                    Some(r) => r,
+                    None => self.next_trace_record(),
+                };
+                match rec {
+                    TraceRecord::Instr(i) => {
+                        if self.monitor.selects(&i) {
+                            let ev = AppEvent::Instr(instr_event_for(&i));
+                            if self.try_enqueue(ev).is_err() {
+                                self.pending = Some(rec);
+                                blocked = true;
+                                break;
+                            }
+                            self.events_seen += 1;
+                            if self.measuring {
+                                self.m_monitored += 1;
+                            }
+                        }
+                        retired += 1;
+                        self.total_instrs += 1;
+                        if self.measuring {
+                            self.m_app_instrs += 1;
+                        }
+                    }
+                    TraceRecord::Stack(s) => {
+                        if self.monitor.monitors_stack() {
+                            if self.try_enqueue(AppEvent::StackUpdate(s)).is_err() {
+                                self.pending = Some(rec);
+                                blocked = true;
+                                break;
+                            }
+                            self.events_seen += 1;
+                            if self.measuring {
+                                self.m_stack += 1;
+                            }
+                        }
+                    }
+                    TraceRecord::High(h) => {
+                        if self.try_enqueue(AppEvent::HighLevel(h)).is_err() {
                             self.pending = Some(rec);
                             blocked = true;
                             break;
                         }
+                        self.events_seen += 1;
                         if self.measuring {
-                            self.m_monitored += 1;
+                            self.m_high += 1;
                         }
-                    }
-                    retired += 1;
-                    self.total_instrs += 1;
-                    if self.measuring {
-                        self.m_app_instrs += 1;
-                    }
-                }
-                TraceRecord::Stack(s) => {
-                    if self.monitor.monitors_stack() {
-                        if self.try_enqueue(AppEvent::StackUpdate(s)).is_err() {
-                            self.pending = Some(rec);
-                            blocked = true;
-                            break;
-                        }
-                        if self.measuring {
-                            self.m_stack += 1;
-                        }
-                    }
-                }
-                TraceRecord::High(h) => {
-                    if self.try_enqueue(AppEvent::HighLevel(h)).is_err() {
-                        self.pending = Some(rec);
-                        blocked = true;
-                        break;
-                    }
-                    if self.measuring {
-                        self.m_high += 1;
                     }
                 }
             }
-        }
-        self.commit.retire(retired);
-        self.last_blocked = blocked;
+            self.commit.retire(retired);
+            self.last_blocked = blocked;
+            monitor_slots
+        };
 
         // ---- Monitoring side. ----
         match self.fade.take() {
@@ -337,6 +901,7 @@ impl MonitoringSystem {
                         } else {
                             self.unfiltered_cost(&uf).max(1)
                         };
+                        self.handler_est_cycles += self.handler_cycle_est(cost);
                         self.handler.start(cost);
                         self.cur_token = Some(uf.token);
                         if self.measuring {
@@ -404,7 +969,8 @@ impl MonitoringSystem {
     fn next_trace_record(&mut self) -> TraceRecord {
         if self.record_pos == self.record_buf.len() {
             self.record_buf.clear();
-            self.gen.next_records_into(&mut self.record_buf, RECORD_BATCH);
+            self.source
+                .next_records_into(&mut self.record_buf, RECORD_BATCH);
             self.record_pos = 0;
         }
         let r = self.record_buf[self.record_pos];
@@ -467,18 +1033,15 @@ impl MonitoringSystem {
     }
 
     fn unfiltered_cost(&self, uf: &UnfilteredEvent) -> u32 {
-        match uf.event {
-            AppEvent::Instr(_) => {
-                let c = self.monitor.costs();
-                if uf.partial_hit {
-                    c.partial_short
-                } else {
-                    c.complex
-                }
-            }
-            AppEvent::HighLevel(h) => self.monitor.high_level_cost(&h),
-            AppEvent::StackUpdate(s) => self.monitor.stack_cost(&s),
-        }
+        unfiltered_cost(self.monitor.as_ref(), uf)
+    }
+
+    /// Estimated handler-execution cycles for a `cost`-instruction
+    /// handler at the monitor thread's standalone rate — the unit both
+    /// the batched base and the sampled residual are expressed in.
+    fn handler_cycle_est(&self, cost: u32) -> u64 {
+        let hipc = self.cfg.core.handler_ipc().min(self.cfg.core.width() as f64);
+        (cost as f64 / hipc).ceil() as u64
     }
 
     /// Software (unaccelerated) handling of one event: classification,
@@ -533,6 +1096,11 @@ impl MonitoringSystem {
     ///
     /// `baseline_cycles` must come from [`baseline_cycles`] for the same
     /// benchmark, core and seed.
+    ///
+    /// If part of the window ran batched ([`MonitoringSystem::run_batched`]),
+    /// `cycles` is the sampled estimate — exactly simulated cycles plus
+    /// the extrapolation for batched instructions — and `sampling`
+    /// reports the windows and error bound behind it.
     pub fn finish(mut self, bench_name: &str, baseline: u64) -> RunStats {
         // Close any open burst.
         if self.cur_burst > 0 && self.measuring {
@@ -543,6 +1111,36 @@ impl MonitoringSystem {
             (Some(f), None) => Some(*f.stats()),
             _ => None,
         };
+        let (cycles, sampling) = if self.m_batch_instrs == 0 && self.m_batch_events == 0 {
+            (self.m_cycles, None)
+        } else {
+            // Prefer windows sampled inside the measured window; fall
+            // back to all windows (e.g. warmup-only sampling).
+            let measured = &self.estimator.windows()[self.measure_from.min(self.estimator.len())..];
+            let est = if measured.is_empty() {
+                self.estimator.clone()
+            } else {
+                SampleEstimator::from_windows(measured)
+            };
+            let e = est.estimate(self.m_batch_events);
+            let base = self.m_batch_base_cycles as f64;
+            let extra = |residual: f64| (base + residual).max(0.0).round() as u64;
+            (
+                self.m_cycles + extra(e.cycles),
+                Some(SamplingSummary {
+                    windows: est.len(),
+                    sampled_instrs: self.m_app_instrs - self.m_batch_instrs,
+                    sampled_cycles: self.m_cycles,
+                    extrapolated_instrs: self.m_batch_instrs,
+                    extrapolated_events: self.m_batch_events,
+                    extrapolated_base_cycles: self.m_batch_base_cycles,
+                    residual_per_event: est.cpi(),
+                    rel_half_width: e.rel_half_width,
+                    cycles_lo: self.m_cycles + extra(e.lo),
+                    cycles_hi: self.m_cycles + extra(e.hi),
+                }),
+            )
+        };
         RunStats {
             benchmark: bench_name.to_string(),
             monitor: self.monitor.name().to_string(),
@@ -551,8 +1149,9 @@ impl MonitoringSystem {
             monitored_events: self.m_monitored,
             stack_events: self.m_stack,
             high_level_events: self.m_high,
-            cycles: self.m_cycles,
+            cycles,
             baseline_cycles: baseline,
+            sampling,
             fade: fade_delta,
             class_instrs: self.class_instrs,
             occupancy: self.occupancy.clone(),
@@ -560,6 +1159,64 @@ impl MonitoringSystem {
             burst_sizes: self.bursts.clone(),
             util: self.util,
         }
+    }
+}
+
+/// Advances a commit process by exactly `n` retired instructions with
+/// nothing impeding retirement, returning the cycles consumed — the
+/// application-only cost of a stretch, on the process's own run/stall
+/// realization.
+fn unimpeded_commit_cycles(commit: &mut CommitModel, n: u64) -> u64 {
+    let mut retired = 0u64;
+    let mut cycles = 0u64;
+    while retired < n {
+        commit.tick();
+        let avail = commit.retirable() as u64;
+        let take = avail.min(n - retired) as u32;
+        commit.retire(take);
+        retired += take as u64;
+        cycles += 1;
+    }
+    cycles
+}
+
+/// Software-handler cost of one unfiltered event (shared by the cycle
+/// engine's consumer and the batched consumer).
+fn unfiltered_cost(monitor: &dyn Monitor, uf: &UnfilteredEvent) -> u32 {
+    match uf.event {
+        AppEvent::Instr(_) => {
+            let c = monitor.costs();
+            if uf.partial_hit {
+                c.partial_short
+            } else {
+                c.complex
+            }
+        }
+        AppEvent::HighLevel(h) => monitor.high_level_cost(&h),
+        AppEvent::StackUpdate(s) => monitor.stack_cost(&s),
+    }
+}
+
+/// Applies the software handler's functional effect for one dispatched
+/// event, deferring invariant-register writes to `inv_writes` (the
+/// batched consumer cannot reach the accelerator while it is running
+/// the batch; chunks are cut at thread switches so the deferral does
+/// not reorder against filtering).
+fn apply_unfiltered(
+    monitor: &mut dyn Monitor,
+    uf: &UnfilteredEvent,
+    st: &mut MetadataState,
+    inv_writes: &mut Vec<(InvId, u64)>,
+) {
+    match uf.event {
+        AppEvent::Instr(ev) => monitor.apply_instr(&ev, st),
+        AppEvent::HighLevel(h) => {
+            monitor.apply_high_level(&h, st);
+            if let HighLevelEvent::ThreadSwitch { tid } = h {
+                inv_writes.extend(monitor.on_thread_switch(tid));
+            }
+        }
+        AppEvent::StackUpdate(ev) => monitor.apply_stack_update(&ev, st),
     }
 }
 
@@ -620,10 +1277,38 @@ pub fn run_experiment(
     warmup: u64,
     measure: u64,
 ) -> RunStats {
+    run_experiment_mode(bench, monitor_name, cfg, warmup, measure, ExecMode::Cycle)
+}
+
+/// [`run_experiment`] with an explicit execution engine.
+///
+/// [`ExecMode::Batched`] runs warmup and measurement through
+/// [`MonitoringSystem::run_batched`]: monitor-visible results are
+/// bit-exact with [`ExecMode::Cycle`], the reported `cycles` is a
+/// sampled estimate (see [`RunStats::sampling`]), and the run is
+/// drained before collection so the estimate covers all in-flight work.
+pub fn run_experiment_mode(
+    bench: &BenchProfile,
+    monitor_name: &str,
+    cfg: &SystemConfig,
+    warmup: u64,
+    measure: u64,
+    mode: ExecMode,
+) -> RunStats {
     let mut sys = MonitoringSystem::new(bench, monitor_name, cfg);
-    sys.run_instrs(warmup);
-    sys.start_measure();
-    sys.run_instrs(measure);
+    match mode {
+        ExecMode::Cycle => {
+            sys.run_instrs(warmup);
+            sys.start_measure();
+            sys.run_instrs(measure);
+        }
+        ExecMode::Batched => {
+            sys.run_batched(warmup);
+            sys.start_measure();
+            sys.run_batched(measure);
+            sys.drain();
+        }
+    }
     let baseline = baseline_cycles(bench, cfg.core, cfg.seed, warmup, measure);
     sys.finish(bench.name, baseline)
 }

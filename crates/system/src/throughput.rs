@@ -21,6 +21,9 @@ use fade_monitors::{monitor_by_name, Monitor};
 use fade_shadow::MetadataState;
 use fade_trace::{BenchProfile, SyntheticProgram, TraceRecord};
 
+use crate::config::SystemConfig;
+use crate::system::MonitoringSystem;
+
 /// Measured throughput of one (benchmark, monitor, batch size) point.
 #[derive(Clone, Debug)]
 pub struct ThroughputReport {
@@ -60,10 +63,7 @@ impl ThroughputReport {
 
     /// Fraction of events that took the short-circuit fast path.
     pub fn fast_path_fraction(&self) -> f64 {
-        if self.batch.events == 0 {
-            return 0.0;
-        }
-        self.batch.fast_path as f64 / self.batch.events as f64
+        self.batch.fast_path_fraction()
     }
 }
 
@@ -232,6 +232,186 @@ pub fn measure_throughput_matrix(
         .collect()
 }
 
+/// Measured throughput of the *full system* (commit process, queues,
+/// monitor thread) in cycle-accurate vs batched execution mode — the
+/// number the batched system mode exists to move, where
+/// [`ThroughputReport`] covers the bare filter pipeline.
+#[derive(Clone, Debug)]
+pub struct SystemThroughputReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Monitor name.
+    pub monitor: String,
+    /// Monitored events processed by each mode (identical streams).
+    pub events: u64,
+    /// Application instructions retired by each mode.
+    pub instrs: u64,
+    /// Wall-clock seconds of the cycle-accurate run.
+    pub cycle_s: f64,
+    /// Wall-clock seconds of the batched run.
+    pub batched_s: f64,
+    /// Batched-run fast-path breakdown.
+    pub batch: BatchStats,
+    /// Simulated cycles of the cycle-accurate run (exact).
+    pub exact_cycles: u64,
+    /// Simulated cycles the batched run estimated from its samples.
+    pub estimated_cycles: u64,
+    /// Sampling period the batched run used (monitored events).
+    pub sample_period: u64,
+    /// Cycle-accurate window length the batched run used.
+    pub sample_window: u64,
+}
+
+impl SystemThroughputReport {
+    /// Monitored events per second, cycle-accurate mode.
+    pub fn cycle_rate(&self) -> f64 {
+        self.events as f64 / self.cycle_s.max(1e-12)
+    }
+
+    /// Monitored events per second, batched mode.
+    pub fn batched_rate(&self) -> f64 {
+        self.events as f64 / self.batched_s.max(1e-12)
+    }
+
+    /// Batched-over-cycle wall-clock speedup.
+    pub fn speedup(&self) -> f64 {
+        self.cycle_s / self.batched_s.max(1e-12)
+    }
+
+    /// Fraction of batched-run events on the short-circuit fast path.
+    pub fn fast_path_fraction(&self) -> f64 {
+        self.batch.fast_path_fraction()
+    }
+
+    /// Relative error of the sampled cycle estimate vs the exact count.
+    pub fn cycle_error(&self) -> f64 {
+        let exact = self.exact_cycles.max(1) as f64;
+        (self.estimated_cycles as f64 - exact).abs() / exact
+    }
+}
+
+/// The trace prefix holding the first `n_events` monitored events for
+/// this monitor and seed: the records themselves plus the instruction
+/// count (the generator is deterministic, so both execution modes can
+/// be driven over exactly this prefix).
+fn record_prefix(
+    bench: &BenchProfile,
+    monitor: &dyn Monitor,
+    seed: u64,
+    n_events: u64,
+) -> (Vec<TraceRecord>, u64) {
+    let mut gen = SyntheticProgram::new(bench, seed);
+    let mut events = 0u64;
+    let mut instrs = 0u64;
+    let mut records = Vec::new();
+    let mut batch = Vec::new();
+    while events < n_events {
+        batch.clear();
+        gen.next_records_into(&mut batch, 4096);
+        for r in &batch {
+            records.push(*r);
+            match *r {
+                TraceRecord::Instr(i) => {
+                    instrs += 1;
+                    if monitor.selects(&i) {
+                        events += 1;
+                    }
+                }
+                TraceRecord::Stack(_) => {
+                    if monitor.monitors_stack() {
+                        events += 1;
+                    }
+                }
+                TraceRecord::High(_) => events += 1,
+            }
+            if events == n_events {
+                break;
+            }
+        }
+    }
+    (records, instrs)
+}
+
+/// Measures full-system throughput for one (benchmark, monitor) point:
+/// the same `n_events`-event trace prefix is generated once (outside
+/// the timed region, like the filter-pipeline harness) and then
+/// replayed once cycle-accurately and once batched (with `cfg`'s
+/// sampling period), both to the exact same instruction, and the
+/// wall-clock times of the execution engines compared.
+///
+/// Every measurement doubles as a differential check: the two runs must
+/// finish with identical metadata state, violation reports and
+/// functional accelerator counters.
+///
+/// # Panics
+///
+/// Panics if the monitor is unknown, or if the two modes diverge in any
+/// monitor-visible result (which the differential harness would flag as
+/// a batched-mode bug).
+pub fn measure_system_throughput(
+    bench: &BenchProfile,
+    monitor_name: &str,
+    cfg: &SystemConfig,
+    n_events: u64,
+) -> SystemThroughputReport {
+    let probe = monitor_by_name(monitor_name)
+        .unwrap_or_else(|| panic!("unknown monitor {monitor_name}"));
+    let (records, instrs) = record_prefix(bench, probe.as_ref(), cfg.seed, n_events);
+
+    let mut cycle_sys = MonitoringSystem::from_records(bench, monitor_name, cfg, records.clone());
+    let start = Instant::now();
+    cycle_sys.run_instrs_exact(instrs);
+    cycle_sys.drain();
+    let cycle_s = start.elapsed().as_secs_f64();
+
+    let mut batched_sys = MonitoringSystem::from_records(bench, monitor_name, cfg, records);
+    let start = Instant::now();
+    batched_sys.run_batched(instrs);
+    batched_sys.drain();
+    let batched_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        cycle_sys.events_seen(),
+        batched_sys.events_seen(),
+        "modes consumed different event streams for {monitor_name} on {}",
+        bench.name
+    );
+    assert!(
+        cycle_sys.state() == batched_sys.state(),
+        "batched metadata state diverged for {monitor_name} on {}",
+        bench.name
+    );
+    assert_eq!(
+        cycle_sys.monitor().reports(),
+        batched_sys.monitor().reports(),
+        "batched violation reports diverged for {monitor_name} on {}",
+        bench.name
+    );
+    let (cf, bf) = (
+        cycle_sys.fade_stats().map(|f| f.functional_counters()),
+        batched_sys.fade_stats().map(|f| f.functional_counters()),
+    );
+    assert_eq!(
+        cf, bf,
+        "batched functional counters diverged for {monitor_name} on {}",
+        bench.name
+    );
+
+    SystemThroughputReport {
+        benchmark: bench.name.to_string(),
+        monitor: monitor_name.to_string(),
+        events: cycle_sys.events_seen(),
+        instrs,
+        cycle_s,
+        batched_s,
+        batch: batched_sys.batch_stats(),
+        exact_cycles: cycle_sys.cycles(),
+        estimated_cycles: batched_sys.estimated_total_cycles(),
+        sample_period: cfg.sample_period,
+        sample_window: cfg.sample_window,
+    }
+}
+
 /// [`measure_throughput_matrix`] for a single batch size.
 pub fn measure_throughput(
     bench: &BenchProfile,
@@ -268,6 +448,23 @@ mod tests {
         // measure_throughput asserts stats equality internally.
         assert_eq!(r.batch.events, 20_000);
         assert!(r.batch.dispatched > 0, "MemLeak dispatches complex events");
+    }
+
+    #[test]
+    fn system_throughput_modes_agree_and_estimate_cycles() {
+        let b = bench::by_name("hmmer").unwrap();
+        let cfg = SystemConfig::fade_single_core()
+            .with_sample_period(2048)
+            .with_sample_window(512);
+        // measure_system_throughput asserts the differential invariants
+        // (state, reports, functional counters) internally.
+        let r = measure_system_throughput(&b, "AddrCheck", &cfg, 20_000);
+        assert_eq!(r.events, 20_000);
+        assert!(r.batch.events > 0, "some events must run batched");
+        assert!(r.exact_cycles > 0 && r.estimated_cycles > 0);
+        // Coarse sanity here; the differential harness pins the ±5%
+        // tolerance on full-size traces.
+        assert!(r.cycle_error() < 0.25, "cycle error {}", r.cycle_error());
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property tests for batched system execution: monitor-visible
+//! results never depend on the sampling schedule, and `run_batched`
+//! composes across call boundaries (resume is bit-exact).
+
+use fade_system::{MonitoringSystem, SystemConfig};
+use fade_trace::bench;
+use proptest::prelude::*;
+
+/// Everything a monitor (or a user of its results) can observe, in one
+/// comparable/hashable bundle. Cycle counts are deliberately absent —
+/// batched timing is a sampled estimate.
+#[derive(Debug, PartialEq)]
+struct VisibleState {
+    instrs: u64,
+    events: u64,
+    state: fade_shadow::MetadataState,
+    reports: Vec<String>,
+    fade_functional: Option<[u64; 7]>,
+}
+
+fn visible(sys: &MonitoringSystem) -> VisibleState {
+    VisibleState {
+        instrs: sys.instrs(),
+        events: sys.events_seen(),
+        state: sys.state().clone(),
+        reports: sys.monitor().reports(),
+        fade_functional: sys.fade_stats().map(|f| f.functional_counters()),
+    }
+}
+
+fn run_batched(bench_name: &str, monitor: &str, k: u64, w: u64, instrs: u64) -> VisibleState {
+    let b = bench::by_name(bench_name).unwrap();
+    let cfg = SystemConfig::fade_single_core()
+        .with_sample_period(k)
+        .with_sample_window(w);
+    let mut sys = MonitoringSystem::new(&b, monitor, &cfg);
+    sys.run_batched(instrs);
+    sys.drain();
+    visible(&sys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any sampling period K and window W — including K=1 (pure cycle
+    /// engine) and K beyond the trace length (pure batching) — yields
+    /// the same monitor-visible results as the cycle-accurate
+    /// reference.
+    #[test]
+    fn sampling_schedule_never_changes_monitor_results(
+        k in prop_oneof![
+            Just(1u64),
+            2u64..64,
+            64u64..4096,
+            Just(1u64 << 40), // far beyond any trace: pure batch mode
+        ],
+        w_frac in 0u64..=4,
+        monitor_idx in 0usize..3,
+        seed_instrs in 6_000u64..10_000,
+    ) {
+        let monitor = ["AddrCheck", "MemLeak", "TaintCheck"][monitor_idx];
+        let bench_name = if monitor == "TaintCheck" { "mcf-taint" } else { "gcc" };
+        let w = (k * w_frac / 4).max(1);
+        let b = bench::by_name(bench_name).unwrap();
+
+        let mut reference = MonitoringSystem::new(
+            &b,
+            monitor,
+            &SystemConfig::fade_single_core(),
+        );
+        reference.run_instrs_exact(seed_instrs);
+        reference.drain();
+
+        let got = run_batched(bench_name, monitor, k, w, seed_instrs);
+        prop_assert_eq!(&got, &visible(&reference));
+    }
+
+    /// `run_batched(a); run_batched(b)` consumes the same trace and
+    /// produces the same monitor-visible results as `run_batched(a+b)`
+    /// — the batched engine resumes bit-exactly at call boundaries,
+    /// wherever they fall relative to the sampling schedule.
+    #[test]
+    fn run_batched_composes_across_call_boundaries(
+        a in 1_000u64..8_000,
+        b_instrs in 1_000u64..8_000,
+        k in prop_oneof![Just(1u64), 128u64..2048, Just(1u64 << 40)],
+        monitor_idx in 0usize..2,
+    ) {
+        let monitor = ["AddrCheck", "MemLeak"][monitor_idx];
+        let bench = bench::by_name("astar").unwrap();
+        let cfg = SystemConfig::fade_single_core()
+            .with_sample_period(k)
+            .with_sample_window((k / 4).max(1));
+
+        let mut split = MonitoringSystem::new(&bench, monitor, &cfg);
+        split.run_batched(a);
+        split.run_batched(b_instrs);
+        split.drain();
+
+        let mut whole = MonitoringSystem::new(&bench, monitor, &cfg);
+        whole.run_batched(a + b_instrs);
+        whole.drain();
+
+        prop_assert_eq!(&visible(&split), &visible(&whole));
+    }
+}
+
+/// The W >= K degenerate case runs fully cycle-accurately: timing is
+/// exact, batch counters stay zero.
+#[test]
+fn window_covering_period_is_pure_cycle_mode() {
+    let b = bench::by_name("mcf").unwrap();
+    let cfg = SystemConfig::fade_single_core()
+        .with_sample_period(256)
+        .with_sample_window(512);
+    let mut sys = MonitoringSystem::new(&b, "AddrCheck", &cfg);
+    sys.run_batched(10_000);
+    sys.drain();
+    let mut reference = MonitoringSystem::new(&b, "AddrCheck", &cfg);
+    reference.run_instrs_exact(10_000);
+    reference.drain();
+    assert_eq!(sys.cycles(), reference.cycles(), "pure cycle mode is exact");
+    assert_eq!(sys.estimated_total_cycles(), sys.cycles());
+    assert_eq!(sys.batch_stats().events, 0);
+}

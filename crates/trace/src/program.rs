@@ -256,6 +256,21 @@ impl SyntheticProgram {
     fn purge_range(&mut self, base: VirtAddr, len: u32) {
         let lo = base.raw();
         let hi = lo.wrapping_add(len);
+        // The pools only ever admit non-stack addresses (stack stores
+        // go to `frame_written`, which call/return clear wholesale), so
+        // purging a stack range — every call and return — is a no-op:
+        // skip the scan over thousands of pool entries. This is the
+        // hottest path of trace generation for call-heavy profiles.
+        if layout::is_stack(base) && layout::is_stack(VirtAddr::new(hi - 1)) {
+            debug_assert!(self
+                .threads
+                .iter()
+                .flat_map(|t| t.hot.iter().chain(t.stored_pool.iter()))
+                .chain(self.to_init.iter())
+                .chain(self.tainted.iter())
+                .all(|a| !layout::is_stack(*a)));
+            return;
+        }
         let out = |a: &VirtAddr| a.raw() < lo || a.raw() >= hi;
         for t in &mut self.threads {
             t.hot.retain(out);

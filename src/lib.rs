@@ -52,6 +52,9 @@ pub mod prelude {
     pub use fade_isa::{AppEvent, AppInstr, InstrClass, Reg, VirtAddr};
     pub use fade_monitors::{monitor_by_name, Monitor};
     pub use fade_shadow::MetadataState;
-    pub use fade_system::{run_experiment, MonitoringSystem, RunStats, SystemConfig};
+    pub use fade_system::{
+        measure_system_throughput, run_experiment, run_experiment_mode, ExecMode,
+        MonitoringSystem, RunStats, SystemConfig,
+    };
     pub use fade_trace::{bench, BenchProfile, SyntheticProgram};
 }

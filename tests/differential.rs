@@ -1,0 +1,176 @@
+//! Differential test harness: batched execution vs the cycle-accurate
+//! reference engine.
+//!
+//! The batched system mode ([`MonitoringSystem::run_batched`]) promises
+//! two things, and this harness is the contract that makes refactoring
+//! either engine safe:
+//!
+//! 1. **Bit-exact monitor results.** For every monitor and benchmark
+//!    profile, the final [`MetadataState`], the violation reports, and
+//!    the accelerator's functional event counters (filtered / partial /
+//!    unfiltered / stack / high-level / shots) are identical to a
+//!    cycle-accurate run over the same trace prefix.
+//! 2. **Sampled timing within tolerance.** The extrapolated cycle count
+//!    is within [`CYCLE_TOLERANCE`] of the exact cycle count on
+//!    full-size traces.
+
+use fade_repro::monitors::all_monitors;
+use fade_repro::prelude::*;
+use fade_repro::system::measure_system_throughput;
+use fade_repro::trace::bench;
+
+/// Documented tolerance of the sampled cycle estimate vs a full
+/// cycle-accurate simulation (relative error), for a workload whose
+/// sampling configuration was chosen for accuracy (see the README's
+/// accuracy-vs-speed table). Matches the batched-system-mode claim.
+const CYCLE_TOLERANCE: f64 = 0.05;
+
+/// Documented tolerance at the *default* (speed-oriented, 25%-sampled)
+/// configuration: congested, monitor-bound workloads can deviate
+/// further because sampling windows restart from drained queues.
+const DEFAULT_CYCLE_TOLERANCE: f64 = 0.10;
+
+/// Instructions per (monitor, benchmark) point in the exhaustive sweep:
+/// small traces, since the sweep covers every pair.
+const SWEEP_INSTRS: u64 = 25_000;
+
+/// The benchmark suite a monitor is evaluated on (Section 6 of the
+/// paper; mirrors `fade_bench::experiments::suite_for`).
+fn suite_for(monitor: &str) -> Vec<BenchProfile> {
+    match monitor {
+        "AtomCheck" => bench::parallel_suite(),
+        "TaintCheck" => bench::taint_suite(),
+        _ => bench::spec_int_suite(),
+    }
+}
+
+/// The accelerator counters that must not depend on the execution
+/// engine (the cycle/stall counters legitimately do).
+fn functional_counters(sys: &MonitoringSystem) -> Option<[u64; 7]> {
+    sys.fade_stats().map(|f| f.functional_counters())
+}
+
+/// Runs one system over exactly `instrs` instructions with the given
+/// engine, drained so nothing is left in flight.
+fn run(bench: &BenchProfile, monitor: &str, cfg: &SystemConfig, instrs: u64, batched: bool) -> MonitoringSystem {
+    let mut sys = MonitoringSystem::new(bench, monitor, cfg);
+    if batched {
+        sys.run_batched(instrs);
+    } else {
+        sys.run_instrs_exact(instrs);
+    }
+    sys.drain();
+    sys
+}
+
+fn assert_monitor_visible_equal(a: &MonitoringSystem, b: &MonitoringSystem, what: &str) {
+    assert_eq!(a.instrs(), b.instrs(), "{what}: instruction counts");
+    assert_eq!(a.events_seen(), b.events_seen(), "{what}: event counts");
+    assert!(a.state() == b.state(), "{what}: final MetadataState");
+    assert_eq!(a.monitor().reports(), b.monitor().reports(), "{what}: violation sets");
+    assert_eq!(
+        functional_counters(a),
+        functional_counters(b),
+        "{what}: functional accelerator counters"
+    );
+}
+
+/// Every monitor, over a small trace of each profile of its suite:
+/// batched mode is bit-exact with cycle mode in everything a monitor
+/// can observe.
+#[test]
+fn batched_matches_cycle_for_every_monitor_and_profile() {
+    for monitor in all_monitors() {
+        let name = monitor.name();
+        for b in suite_for(name) {
+            // A sampling period small enough that every trace exercises
+            // several batch→cycle→batch transitions.
+            let cfg = SystemConfig::fade_single_core()
+                .with_sample_period(1024)
+                .with_sample_window(256);
+            let cycle = run(&b, name, &cfg, SWEEP_INSTRS, false);
+            let batched = run(&b, name, &cfg, SWEEP_INSTRS, true);
+            assert!(batched.batch_stats().events > 0, "{name}/{}: batched path unused", b.name);
+            assert_monitor_visible_equal(&cycle, &batched, &format!("{name}/{}", b.name));
+        }
+    }
+}
+
+/// The blocking filtering mode follows the same differential contract
+/// (its batched fallback pays the resume latency in `settle`).
+#[test]
+fn batched_matches_cycle_in_blocking_mode() {
+    let b = bench::by_name("gcc").unwrap();
+    let cfg = SystemConfig::fade_single_core()
+        .with_mode(FilterMode::Blocking)
+        .with_sample_period(1024)
+        .with_sample_window(256);
+    let cycle = run(&b, "MemLeak", &cfg, SWEEP_INSTRS, false);
+    let batched = run(&b, "MemLeak", &cfg, SWEEP_INSTRS, true);
+    assert_monitor_visible_equal(&cycle, &batched, "MemLeak/gcc blocking");
+}
+
+/// Sampled cycle estimates stay within the documented tolerances of
+/// the exact cycle count on full-size (200k-event) traces — the
+/// acceptance bar of the batched system mode, and the regression guard
+/// for the estimator. Each point also demonstrates a real wall-clock
+/// speedup over cycle-accurate execution (asserted conservatively:
+/// wall-clock is noisy in CI; the measured ratios — ~2× on
+/// hmmer/AddrCheck, ~2.4–2.7× on gcc/MemLeak at the default sampling
+/// configuration — are reported by `reproduce_all`).
+/// (`measure_system_throughput` also re-checks bit-exactness.)
+#[test]
+fn sampled_cycle_estimates_within_tolerance() {
+    // (bench, monitor, accuracy-oriented sampling config). The default
+    // 25%-sampled configuration is enough for app-bound workloads like
+    // hmmer/AddrCheck; congested monitor-bound workloads (gcc/MemLeak)
+    // need the denser 50%-sampled configuration to reach ±5%.
+    let dense = SystemConfig::fade_single_core()
+        .with_sample_period(8_192)
+        .with_sample_window(4_096);
+    let points = [
+        ("hmmer", "AddrCheck", SystemConfig::fade_single_core()),
+        ("gcc", "MemLeak", dense),
+    ];
+    for (bench_name, monitor, cfg) in points {
+        let b = bench::by_name(bench_name).unwrap();
+        let r = measure_system_throughput(&b, monitor, &cfg, 200_000);
+        assert!(
+            r.cycle_error() <= CYCLE_TOLERANCE,
+            "{bench_name}/{monitor}: estimated {} vs exact {} cycles ({:.2}% error, tolerance {:.0}%)",
+            r.estimated_cycles,
+            r.exact_cycles,
+            100.0 * r.cycle_error(),
+            100.0 * CYCLE_TOLERANCE,
+        );
+        assert!(
+            r.speedup() > 1.3,
+            "{bench_name}/{monitor}: batched mode should beat cycle mode (got {:.2}x)",
+            r.speedup()
+        );
+    }
+    // The speed-oriented default stays within its looser documented
+    // tolerance on the congested point.
+    let b = bench::by_name("gcc").unwrap();
+    let r = measure_system_throughput(&b, "MemLeak", &SystemConfig::fade_single_core(), 200_000);
+    assert!(
+        r.cycle_error() <= DEFAULT_CYCLE_TOLERANCE,
+        "gcc/MemLeak at default sampling: {:.2}% error, tolerance {:.0}%",
+        100.0 * r.cycle_error(),
+        100.0 * DEFAULT_CYCLE_TOLERANCE,
+    );
+    assert!(r.speedup() > 1.5, "default sampling speedup {:.2}x", r.speedup());
+}
+
+/// Unaccelerated systems take the documented fallback: `run_batched`
+/// runs them cycle-accurately, so results (and timing) match exactly.
+#[test]
+fn unaccelerated_batched_falls_back_to_cycle() {
+    let b = bench::by_name("mcf").unwrap();
+    let cfg = SystemConfig::unaccelerated_single_core();
+    let cycle = run(&b, "AddrCheck", &cfg, 15_000, false);
+    let batched = run(&b, "AddrCheck", &cfg, 15_000, true);
+    assert_monitor_visible_equal(&cycle, &batched, "AddrCheck/mcf unaccelerated");
+    assert_eq!(cycle.cycles(), batched.cycles(), "fallback timing is exact");
+    assert_eq!(batched.batch_stats().events, 0);
+}
