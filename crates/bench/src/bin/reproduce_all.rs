@@ -1,17 +1,30 @@
 //! Runs every experiment of the paper's evaluation section in order,
-//! printing paper-style tables, then measures filtering and
-//! full-system throughput and dumps both to `BENCH_pipeline.json` (the
-//! machine-readable seed of the repo's performance trajectory). Scale
-//! the window with FADE_MEASURE / FADE_WARMUP (instructions).
+//! printing paper-style tables, then measures filtering, full-system
+//! and trace-codec throughput and dumps all three to
+//! `BENCH_pipeline.json` (the machine-readable seed of the repo's
+//! performance trajectory). Scale the window with FADE_MEASURE /
+//! FADE_WARMUP (instructions).
 //!
 //! `--mode batched` (or `FADE_MODE=batched`) runs every experiment
 //! through the batched system engine: several times faster, bit-exact
 //! monitor results, sampled cycle estimates. `--mode cycle` (default)
 //! is the cycle-accurate reference.
+//!
+//! `--record-dir DIR` freezes each throughput point's trace prefix to
+//! `DIR/<bench>-<monitor>.fadet`; `--replay-dir DIR` drives the system
+//! throughput section from those files instead of the generator (both
+//! flags together record then immediately replay). Replayed runs keep
+//! the differential checks: both engines consume the identical frozen
+//! trace and must agree on every monitor-visible result.
+
+use std::path::{Path, PathBuf};
 
 use fade_bench::experiments as ex;
-use fade_system::{measure_system_throughput, measure_throughput_matrix, SystemConfig};
-use fade_trace::bench;
+use fade_system::{
+    measure_system_throughput_records, measure_throughput_matrix, measure_trace_codec_records,
+    record_trace_prefix, SystemConfig,
+};
+use fade_trace::{bench, read_trace_file, write_trace_file, TraceMeta, TraceRecord};
 
 /// (benchmark, monitor) points for the throughput dump: one
 /// high-filtering and one low-filtering workload.
@@ -54,22 +67,87 @@ fn pipeline_json() -> String {
     rows.join(",\n")
 }
 
+/// The `.fadet` path a pipeline point records to / replays from.
+fn trace_path(dir: &Path, bench_name: &str, monitor: &str) -> PathBuf {
+    dir.join(format!("{bench_name}-{monitor}.fadet"))
+}
+
+/// One pre-generated pipeline-point prefix, shared by the record,
+/// codec and (live) system sections so the trace is generated once.
+struct PointPrefix {
+    records: Vec<TraceRecord>,
+    instrs: u64,
+}
+
+fn point_prefixes() -> Vec<PointPrefix> {
+    let cfg = SystemConfig::fade_single_core();
+    PIPELINE_POINTS
+        .iter()
+        .map(|(bench_name, monitor)| {
+            let b = bench::by_name(bench_name).unwrap();
+            let (records, instrs) = record_trace_prefix(&b, monitor, cfg.seed, PIPELINE_EVENTS);
+            PointPrefix { records, instrs }
+        })
+        .collect()
+}
+
+/// Freezes each pipeline point's trace prefix to `dir`.
+fn record_traces(dir: &Path, prefixes: &[PointPrefix]) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    for ((bench_name, monitor), p) in PIPELINE_POINTS.iter().zip(prefixes) {
+        let cfg = SystemConfig::fade_single_core();
+        let path = trace_path(dir, bench_name, monitor);
+        let meta = TraceMeta::new(*bench_name, cfg.seed);
+        write_trace_file(&path, &meta, &p.records)
+            .unwrap_or_else(|e| panic!("record {}: {e}", path.display()));
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "  recorded {} ({} records, {} instrs, {:.1} MiB, {:.2} B/record)",
+            path.display(),
+            p.records.len(),
+            p.instrs,
+            bytes as f64 / (1 << 20) as f64,
+            bytes as f64 / p.records.len() as f64,
+        );
+    }
+}
+
+/// Loads a recorded pipeline point back, validating its provenance.
+fn load_trace(dir: &Path, bench_name: &str, monitor: &str, seed: u64) -> (Vec<TraceRecord>, u64) {
+    let path = trace_path(dir, bench_name, monitor);
+    let (meta, records) =
+        read_trace_file(&path).unwrap_or_else(|e| panic!("replay {}: {e}", path.display()));
+    assert_eq!(
+        (meta.bench.as_str(), meta.seed),
+        (bench_name, seed),
+        "{} was recorded for a different workload",
+        path.display()
+    );
+    let instrs = records
+        .iter()
+        .filter(|r| matches!(r, TraceRecord::Instr(_)))
+        .count() as u64;
+    (records, instrs)
+}
+
 /// Full-system (commit process + queues + monitor thread) throughput:
 /// cycle-accurate vs batched execution over the same 200k-event trace
-/// prefix. Each measurement also differentially checks bit-exactness
-/// of monitor-visible results between the two engines.
-fn system_json() -> String {
+/// prefix — generated live, or replayed from `--replay-dir`'s recorded
+/// files. Each measurement also differentially checks bit-exactness of
+/// monitor-visible results between the two engines.
+fn system_json(replay_dir: Option<&Path>, prefixes: Vec<PointPrefix>) -> String {
     let mut rows = Vec::new();
-    for (bench_name, monitor) in PIPELINE_POINTS {
+    for ((bench_name, monitor), p) in PIPELINE_POINTS.iter().copied().zip(prefixes) {
         let b = bench::by_name(bench_name).unwrap();
-        let r = measure_system_throughput(
-            &b,
-            monitor,
-            &SystemConfig::fade_single_core(),
-            PIPELINE_EVENTS,
-        );
+        let cfg = SystemConfig::fade_single_core();
+        let (records, instrs) = match replay_dir {
+            Some(dir) => load_trace(dir, bench_name, monitor, cfg.seed),
+            None => (p.records, p.instrs),
+        };
+        let source = if replay_dir.is_some() { "replay" } else { "live" };
+        let r = measure_system_throughput_records(&b, monitor, &cfg, records, instrs);
         println!(
-            "  {bench_name}/{monitor} system: {:>6.2} Mev/s batched, {:>6.2} Mev/s cycle ({:.2}x, {:.0}% fast path, cycle est err {:.1}%)",
+            "  {bench_name}/{monitor} system ({source}): {:>6.2} Mev/s batched, {:>6.2} Mev/s cycle ({:.2}x, {:.0}% fast path, cycle est err {:.1}%)",
             r.batched_rate() / 1e6,
             r.cycle_rate() / 1e6,
             r.speedup(),
@@ -79,6 +157,7 @@ fn system_json() -> String {
         rows.push(format!(
             concat!(
                 "    {{\"benchmark\": \"{}\", \"monitor\": \"{}\", \"events\": {}, ",
+                "\"source\": \"{}\", ",
                 "\"events_per_sec_batched\": {:.0}, \"events_per_sec_cycle\": {:.0}, ",
                 "\"speedup\": {:.3}, \"fast_path_fraction\": {:.4}, ",
                 "\"exact_cycles\": {}, \"estimated_cycles\": {}, \"cycle_error\": {:.4}, ",
@@ -87,6 +166,7 @@ fn system_json() -> String {
             r.benchmark,
             r.monitor,
             r.events,
+            source,
             r.batched_rate(),
             r.cycle_rate(),
             r.speedup(),
@@ -96,6 +176,54 @@ fn system_json() -> String {
             r.cycle_error(),
             r.sample_period,
             r.sample_window,
+        ));
+    }
+    rows.join(",\n")
+}
+
+/// Trace-codec throughput: live generation vs `.fadet` encode/decode
+/// rates and the encoded-vs-raw size, per pipeline point. Replay is
+/// worth having exactly when decode beats generation — both rates land
+/// in the JSON so regressions surface.
+fn trace_json(prefixes: &[PointPrefix]) -> String {
+    let mut rows = Vec::new();
+    for ((bench_name, monitor), p) in PIPELINE_POINTS.iter().zip(prefixes) {
+        let b = bench::by_name(bench_name).unwrap();
+        let cfg = SystemConfig::fade_single_core();
+        let r = measure_trace_codec_records(
+            &b,
+            monitor,
+            cfg.seed,
+            &p.records,
+            p.instrs,
+            PIPELINE_EVENTS,
+        );
+        println!(
+            "  {bench_name}/{monitor} codec: {:>7.2} Mev/s replay vs {:>6.2} Mev/s generate ({:.2}x), encode {:.2} Mev/s, {:.2} B/record ({:.1}x smaller than raw)",
+            r.replay_rate() / 1e6,
+            r.gen_rate() / 1e6,
+            r.replay_rate() / r.gen_rate(),
+            r.encode_rate() / 1e6,
+            r.encoded_bytes as f64 / r.records as f64,
+            r.compression_ratio(),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"benchmark\": \"{}\", \"monitor\": \"{}\", \"events\": {}, ",
+                "\"records\": {}, \"raw_bytes\": {}, \"encoded_bytes\": {}, ",
+                "\"compression_ratio\": {:.3}, \"events_per_sec_generate\": {:.0}, ",
+                "\"events_per_sec_encode\": {:.0}, \"events_per_sec_replay\": {:.0}}}"
+            ),
+            r.benchmark,
+            r.monitor,
+            r.events,
+            r.records,
+            r.raw_bytes,
+            r.encoded_bytes,
+            r.compression_ratio(),
+            r.gen_rate(),
+            r.encode_rate(),
+            r.replay_rate(),
         ));
     }
     rows.join(",\n")
@@ -117,6 +245,18 @@ fn main() {
             }
         }
     }
+    let dir_flag = |flag: &str| -> Option<PathBuf> {
+        let i = args.iter().position(|a| a == flag)?;
+        match args.get(i + 1) {
+            Some(d) => Some(PathBuf::from(d)),
+            None => {
+                eprintln!("{flag} expects a directory");
+                std::process::exit(2);
+            }
+        }
+    };
+    let record_dir = dir_flag("--record-dir");
+    let replay_dir = dir_flag("--replay-dir");
     println!(
         "execution mode: {:?} (override with --mode batched|cycle)",
         fade_bench::exec_mode()
@@ -141,12 +281,25 @@ fn main() {
     println!("Pipeline throughput (batched vs. per-event)");
     println!("================================================================");
     let pipeline_rows = pipeline_json();
+    // One generation pass feeds recording, the codec section, and the
+    // live system section.
+    let prefixes = point_prefixes();
+    if let Some(dir) = &record_dir {
+        println!("================================================================");
+        println!("Trace recording ({})", dir.display());
+        println!("================================================================");
+        record_traces(dir, &prefixes);
+    }
+    println!("================================================================");
+    println!("Trace codec (replay vs. live generation)");
+    println!("================================================================");
+    let trace_rows = trace_json(&prefixes);
     println!("================================================================");
     println!("System throughput (batched engine vs. cycle engine)");
     println!("================================================================");
-    let system_rows = system_json();
+    let system_rows = system_json(replay_dir.as_deref(), prefixes);
     let json = format!(
-        "{{\n  \"schema\": \"fade-pipeline-throughput/v2\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"fade-pipeline-throughput/v3\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"trace_results\": [\n{trace_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ]\n}}\n",
     );
     let path = "BENCH_pipeline.json";
     match std::fs::write(path, &json) {

@@ -43,8 +43,10 @@ pub use config::{Accel, FadeTweaks, SystemConfig, Topology};
 pub use run::{ClassInstrs, RunStats, SamplingSummary, UtilBreakdown};
 pub use system::{
     baseline_cycles, run_experiment, run_experiment_mode, ExecMode, MonitoringSystem,
+    ReplayBuffer, TraceSource,
 };
 pub use throughput::{
-    measure_system_throughput, measure_throughput, measure_throughput_matrix,
-    SystemThroughputReport, ThroughputReport,
+    measure_system_throughput, measure_system_throughput_records, measure_throughput,
+    measure_throughput_matrix, measure_trace_codec, measure_trace_codec_records,
+    record_trace_prefix, SystemThroughputReport, ThroughputReport, TraceCodecReport,
 };

@@ -41,33 +41,63 @@ const BATCH_CHUNK: u64 = 1024;
 
 /// Where a [`MonitoringSystem`] gets its trace records.
 ///
-/// `Synthetic` generates on the fly (the default); `Replay` walks a
-/// pre-generated buffer — for deterministic replay of a recorded
-/// trace, and for throughput measurements that want generation cost
-/// out of the timed region.
-enum TraceSource {
-    /// On-the-fly synthetic generation.
-    Synthetic(Box<SyntheticProgram>),
-    /// Replay of a pre-generated record buffer.
-    Replay { records: Vec<TraceRecord>, pos: usize },
-}
-
-impl TraceSource {
+/// The engine pulls records in batches; a source appends up to `n`
+/// records per call. Implementations exist for on-the-fly synthetic
+/// generation ([`SyntheticProgram`]), pre-generated buffers
+/// ([`ReplayBuffer`]), and recorded `.fadet` trace files
+/// ([`fade_trace::TraceReader`]) — so any future real workload is just
+/// "a file we replay" through the same engine.
+pub trait TraceSource {
     /// Appends up to `n` records to `buf`.
     ///
     /// # Panics
     ///
-    /// Panics if a replay buffer is exhausted (the driver asked for
-    /// more trace than was recorded).
+    /// Panics if the source is exhausted or fails while the engine
+    /// still needs records (the driver asked for more trace than was
+    /// recorded — a harness bug, not a recoverable condition).
+    fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize);
+}
+
+impl TraceSource for SyntheticProgram {
     fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize) {
-        match self {
-            TraceSource::Synthetic(gen) => gen.next_records_into(buf, n),
-            TraceSource::Replay { records, pos } => {
-                assert!(*pos < records.len(), "replay trace exhausted");
-                let end = (*pos + n).min(records.len());
-                buf.extend_from_slice(&records[*pos..end]);
-                *pos = end;
-            }
+        SyntheticProgram::next_records_into(self, buf, n);
+    }
+}
+
+/// Replay of a pre-generated in-memory record buffer — deterministic
+/// replay with generation cost out of the execution path.
+pub struct ReplayBuffer {
+    records: Vec<TraceRecord>,
+    pos: usize,
+}
+
+impl ReplayBuffer {
+    /// Wraps a record buffer.
+    pub fn new(records: Vec<TraceRecord>) -> Self {
+        ReplayBuffer { records, pos: 0 }
+    }
+
+    /// Records not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.records.len() - self.pos
+    }
+}
+
+impl TraceSource for ReplayBuffer {
+    fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize) {
+        assert!(self.pos < self.records.len(), "replay trace exhausted");
+        let end = (self.pos + n).min(self.records.len());
+        buf.extend_from_slice(&self.records[self.pos..end]);
+        self.pos = end;
+    }
+}
+
+impl<R: std::io::Read> TraceSource for fade_trace::TraceReader<R> {
+    fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize) {
+        match fade_trace::TraceReader::next_records_into(self, buf, n) {
+            Ok(0) if n > 0 => panic!("replay trace file exhausted"),
+            Ok(_) => {}
+            Err(e) => panic!("replay trace file failed mid-run: {e}"),
         }
     }
 }
@@ -93,7 +123,7 @@ pub enum ExecMode {
 pub struct MonitoringSystem {
     cfg: SystemConfig,
     monitor: Box<dyn Monitor>,
-    source: TraceSource,
+    source: Box<dyn TraceSource>,
     commit: CommitModel,
     arbiter: SmtArbiter,
     handler: HandlerExec,
@@ -272,7 +302,7 @@ impl MonitoringSystem {
         };
         MonitoringSystem {
             monitor,
-            source: TraceSource::Synthetic(Box::new(SyntheticProgram::new(bench, cfg.seed))),
+            source: Box::new(SyntheticProgram::new(bench, cfg.seed)),
             commit: CommitModel::new(cfg.core, bench.commit, Rng::seed_from(cfg.seed ^ 0xbace)),
             arbiter: SmtArbiter::new(),
             handler: HandlerExec::new(cfg.core),
@@ -335,9 +365,57 @@ impl MonitoringSystem {
         cfg: &SystemConfig,
         records: Vec<TraceRecord>,
     ) -> Self {
+        Self::with_source(bench, monitor_name, cfg, Box::new(ReplayBuffer::new(records)))
+    }
+
+    /// Builds a system fed by an arbitrary [`TraceSource`] — the hook
+    /// recorded-trace replay plugs into: pass a
+    /// [`fade_trace::TraceReader`] to stream a `.fadet` file through
+    /// the engine without materializing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitor_name` is unknown or the monitor's FADE
+    /// program fails validation.
+    pub fn with_source(
+        bench: &BenchProfile,
+        monitor_name: &str,
+        cfg: &SystemConfig,
+        source: Box<dyn TraceSource>,
+    ) -> Self {
         let mut sys = Self::new(bench, monitor_name, cfg);
-        sys.source = TraceSource::Replay { records, pos: 0 };
+        sys.source = source;
         sys
+    }
+
+    /// Builds a system that streams a recorded `.fadet` trace file.
+    /// The benchmark profile is looked up from the file's header
+    /// metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns the file's decode error, or a
+    /// [`fade_trace::TraceFileError::BadHeader`] if the header names an
+    /// unknown benchmark profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitor_name` is unknown or the monitor's FADE
+    /// program fails validation.
+    pub fn from_trace_file(
+        path: impl AsRef<std::path::Path>,
+        monitor_name: &str,
+        cfg: &SystemConfig,
+    ) -> Result<Self, fade_trace::TraceFileError> {
+        let reader = fade_trace::TraceReader::open(path)?;
+        let bench = fade_trace::bench::by_name(&reader.meta().bench)
+            .ok_or(fade_trace::TraceFileError::BadHeader)?;
+        Ok(Self::with_source(
+            &bench,
+            monitor_name,
+            cfg,
+            Box::new(reader),
+        ))
     }
 
     /// The monitor driving this system (bug reports, etc.).

@@ -1,0 +1,724 @@
+//! The `.fadet` recorded-trace file format.
+//!
+//! A versioned, chunked, checksummed container around the
+//! [`crate::codec`] record encoding — the interchange point between
+//! trace capture and analysis. A recorded trace freezes a workload
+//! independently of future generator/profile changes, makes any real
+//! workload "a file we replay", and gives tests byte-stable fixtures.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! ```text
+//! file    := header chunk* trailer
+//! header  := magic[8]="FADETRCF"  version:u16  hlen:u16
+//!            hpayload[hlen]  crc32(hpayload):u32
+//! hpayload:= name_len:u8  bench_name[name_len]  seed:u64
+//! chunk   := 0x01  plen:u32  nrecords:u32  crc32(payload):u32
+//!            payload[plen]            (codec context resets per chunk)
+//! trailer := 0x00  total_records:u64  crc32(total_records):u32
+//! ```
+//!
+//! Unknown trailing header-payload bytes are skipped, so minor-version
+//! extensions can add metadata without breaking old readers; a major
+//! format change bumps `version` and old readers reject it with
+//! [`TraceFileError::UnsupportedVersion`].
+//!
+//! Every failure mode is a typed [`TraceFileError`] naming the file
+//! offset of the failing chunk — decoding never panics, whatever the
+//! bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use fade_trace::{bench, SyntheticProgram};
+//! use fade_trace::file::{decode_trace, encode_trace, TraceMeta};
+//!
+//! let p = bench::by_name("mcf").unwrap();
+//! let mut prog = SyntheticProgram::new(&p, 7);
+//! let records: Vec<_> = (0..1000).map(|_| prog.next_record()).collect();
+//! let meta = TraceMeta { bench: "mcf".into(), seed: 7 };
+//! let bytes = encode_trace(&meta, &records);
+//! let (meta2, records2) = decode_trace(&bytes).unwrap();
+//! assert_eq!(meta2, meta);
+//! assert_eq!(records2, records);
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::codec::{crc32, encode_record, ChunkDecoder, CodecError, Ctx};
+use crate::program::TraceRecord;
+
+/// Magic header of a `.fadet` trace file.
+pub const FILE_MAGIC: &[u8; 8] = b"FADETRCF";
+
+/// Current schema version. Readers reject anything newer.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Records per chunk the writer flushes at by default: large enough to
+/// amortize per-chunk overhead (13 bytes) to noise, small enough that
+/// corruption and resynchronization stay fine-grained.
+pub const DEFAULT_CHUNK_RECORDS: usize = 4096;
+
+const CHUNK_MARKER: u8 = 0x01;
+const END_MARKER: u8 = 0x00;
+
+/// Upper bound a reader accepts for one chunk payload: a corrupted (or
+/// hostile) length field must not drive allocation.
+const MAX_CHUNK_PAYLOAD: u32 = 1 << 26;
+/// Upper bound a reader accepts for one chunk's record count.
+const MAX_CHUNK_RECORDS: u32 = 1 << 24;
+/// Upper bound for the bench-name field.
+const MAX_NAME_LEN: usize = 255;
+
+/// Profile metadata carried in the file header: enough to rebuild the
+/// [`crate::BenchProfile`] context a recorded trace was captured under.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Benchmark profile name (`crate::bench::by_name` key) the trace
+    /// was generated from, or a free-form workload label for captured
+    /// real-workload traces.
+    pub bench: String,
+    /// Generator seed (for provenance; replay does not re-generate).
+    pub seed: u64,
+}
+
+impl TraceMeta {
+    /// Metadata for a synthetic workload.
+    pub fn new(bench: impl Into<String>, seed: u64) -> Self {
+        TraceMeta {
+            bench: bench.into(),
+            seed,
+        }
+    }
+}
+
+/// An error while reading or decoding a recorded-trace file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceFileError {
+    /// An underlying I/O failure (other than clean truncation).
+    Io(String),
+    /// The file does not start with [`FILE_MAGIC`].
+    BadMagic,
+    /// The file's schema version is newer than this reader.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The header payload is malformed or fails its checksum.
+    BadHeader,
+    /// The stream ended mid-structure.
+    Truncated {
+        /// File offset at which more bytes were needed.
+        offset: u64,
+    },
+    /// A chunk payload failed its CRC-32 check.
+    ChecksumMismatch {
+        /// File offset of the failing chunk's marker byte.
+        chunk_offset: u64,
+    },
+    /// A chunk payload passed its checksum but decoded to garbage
+    /// (possible only for writer bugs or checksum collisions).
+    Corrupt {
+        /// File offset of the failing chunk's marker byte.
+        chunk_offset: u64,
+        /// The codec-level error inside the payload.
+        error: CodecError,
+    },
+    /// The trailer's total record count disagrees with the chunks.
+    CountMismatch {
+        /// Records the trailer promised.
+        expected: u64,
+        /// Records the chunks actually held.
+        found: u64,
+    },
+    /// A structural field is out of its sane range (chunk larger than
+    /// [`MAX_CHUNK_PAYLOAD`], oversized name, unknown marker).
+    BadStructure {
+        /// File offset of the offending field.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file I/O error: {e}"),
+            TraceFileError::BadMagic => write!(f, "not a FADE trace file (bad magic)"),
+            TraceFileError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported trace format version {found} (reader supports <= {FORMAT_VERSION})"
+            ),
+            TraceFileError::BadHeader => write!(f, "malformed trace file header"),
+            TraceFileError::Truncated { offset } => {
+                write!(f, "trace file truncated at byte offset {offset}")
+            }
+            TraceFileError::ChecksumMismatch { chunk_offset } => {
+                write!(f, "checksum mismatch in chunk at byte offset {chunk_offset}")
+            }
+            TraceFileError::Corrupt { chunk_offset, error } => {
+                write!(f, "corrupt chunk at byte offset {chunk_offset}: {error}")
+            }
+            TraceFileError::CountMismatch { expected, found } => write!(
+                f,
+                "record count mismatch: trailer promises {expected}, chunks hold {found}"
+            ),
+            TraceFileError::BadStructure { offset } => {
+                write!(f, "malformed structure at byte offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Streaming `.fadet` writer.
+///
+/// Records are buffered into chunks of
+/// [`TraceWriter::with_chunk_records`] records (default
+/// [`DEFAULT_CHUNK_RECORDS`]), each flushed with its own record count
+/// and CRC-32; [`TraceWriter::finish`] writes the trailer. Dropping a
+/// writer without `finish` leaves a file readers reject as truncated —
+/// a half-written capture never masquerades as a complete one.
+pub struct TraceWriter<W: Write> {
+    w: W,
+    ctx: Ctx,
+    chunk: Vec<u8>,
+    chunk_records: u32,
+    chunk_capacity: usize,
+    total: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the file header.
+    pub fn new(mut w: W, meta: &TraceMeta) -> io::Result<Self> {
+        assert!(
+            meta.bench.len() <= MAX_NAME_LEN,
+            "bench name too long for the trace header"
+        );
+        let mut hpayload = Vec::with_capacity(1 + meta.bench.len() + 8);
+        hpayload.push(meta.bench.len() as u8);
+        hpayload.extend_from_slice(meta.bench.as_bytes());
+        hpayload.extend_from_slice(&meta.seed.to_le_bytes());
+        w.write_all(FILE_MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&(hpayload.len() as u16).to_le_bytes())?;
+        w.write_all(&hpayload)?;
+        w.write_all(&crc32(&hpayload).to_le_bytes())?;
+        Ok(TraceWriter {
+            w,
+            ctx: Ctx::default(),
+            chunk: Vec::new(),
+            chunk_records: 0,
+            chunk_capacity: DEFAULT_CHUNK_RECORDS,
+            total: 0,
+        })
+    }
+
+    /// Sets the records-per-chunk flush threshold (min 1).
+    pub fn with_chunk_records(mut self, n: usize) -> Self {
+        self.chunk_capacity = n.max(1);
+        self
+    }
+
+    /// Appends one record.
+    pub fn write_record(&mut self, r: &TraceRecord) -> io::Result<()> {
+        encode_record(&mut self.ctx, r, &mut self.chunk);
+        self.chunk_records += 1;
+        self.total += 1;
+        if self.chunk_records as usize >= self.chunk_capacity {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a record slice.
+    pub fn write_all(&mut self, records: &[TraceRecord]) -> io::Result<()> {
+        for r in records {
+            self.write_record(r)?;
+        }
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.total
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.chunk_records == 0 {
+            return Ok(());
+        }
+        self.w.write_all(&[CHUNK_MARKER])?;
+        self.w.write_all(&(self.chunk.len() as u32).to_le_bytes())?;
+        self.w.write_all(&self.chunk_records.to_le_bytes())?;
+        self.w.write_all(&crc32(&self.chunk).to_le_bytes())?;
+        self.w.write_all(&self.chunk)?;
+        self.chunk.clear();
+        self.chunk_records = 0;
+        // Fresh prediction context per chunk: chunks decode independently.
+        self.ctx = Ctx::default();
+        Ok(())
+    }
+
+    /// Flushes the last chunk, writes the trailer and returns the inner
+    /// writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_chunk()?;
+        self.w.write_all(&[END_MARKER])?;
+        let count = self.total.to_le_bytes();
+        self.w.write_all(&count)?;
+        self.w.write_all(&crc32(&count).to_le_bytes())?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// Streaming `.fadet` reader.
+///
+/// Parses the header eagerly ([`TraceReader::meta`]), then decodes one
+/// chunk at a time on demand — a trace never needs to fit in memory
+/// twice. Implements `Iterator<Item = Result<TraceRecord, _>>`, and
+/// plugs directly into the replay path of
+/// `fade_system::MonitoringSystem` through the `TraceSource` trait.
+pub struct TraceReader<R: Read> {
+    r: R,
+    meta: TraceMeta,
+    /// File offset of the next unread byte.
+    pos: u64,
+    chunk: Vec<TraceRecord>,
+    chunk_pos: usize,
+    payload: Vec<u8>,
+    total_seen: u64,
+    /// Trailer reached and verified.
+    done: bool,
+}
+
+impl TraceReader<io::BufReader<std::fs::File>> {
+    /// Opens a trace file from disk.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        let f = std::fs::File::open(path)?;
+        TraceReader::new(io::BufReader::new(f))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps a byte stream, parsing and validating the header.
+    pub fn new(mut r: R) -> Result<Self, TraceFileError> {
+        let mut pos = 0u64;
+        let mut magic = [0u8; 8];
+        read_exact_at(&mut r, &mut magic, &mut pos).map_err(|e| match e {
+            TraceFileError::Truncated { .. } => TraceFileError::BadMagic,
+            other => other,
+        })?;
+        if &magic != FILE_MAGIC {
+            return Err(TraceFileError::BadMagic);
+        }
+        let version = read_u16(&mut r, &mut pos)?;
+        if version > FORMAT_VERSION || version == 0 {
+            return Err(TraceFileError::UnsupportedVersion { found: version });
+        }
+        let hlen = read_u16(&mut r, &mut pos)? as usize;
+        let mut hpayload = vec![0u8; hlen];
+        read_exact_at(&mut r, &mut hpayload, &mut pos)?;
+        let hcrc = read_u32(&mut r, &mut pos)?;
+        if crc32(&hpayload) != hcrc {
+            return Err(TraceFileError::BadHeader);
+        }
+        // name_len + name + seed; later minor versions may append more.
+        let name_len = *hpayload.first().ok_or(TraceFileError::BadHeader)? as usize;
+        if hpayload.len() < 1 + name_len + 8 {
+            return Err(TraceFileError::BadHeader);
+        }
+        let bench = std::str::from_utf8(&hpayload[1..1 + name_len])
+            .map_err(|_| TraceFileError::BadHeader)?
+            .to_string();
+        let seed = u64::from_le_bytes(
+            hpayload[1 + name_len..1 + name_len + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        Ok(TraceReader {
+            r,
+            meta: TraceMeta { bench, seed },
+            pos,
+            chunk: Vec::new(),
+            chunk_pos: 0,
+            payload: Vec::new(),
+            total_seen: 0,
+            done: false,
+        })
+    }
+
+    /// The profile metadata from the file header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// `true` once the trailer has been reached and verified.
+    pub fn is_done(&self) -> bool {
+        self.done && self.chunk_pos >= self.chunk.len()
+    }
+
+    /// Loads and verifies the next chunk; `false` at the (verified)
+    /// trailer.
+    fn load_next_chunk(&mut self) -> Result<bool, TraceFileError> {
+        debug_assert!(self.chunk_pos >= self.chunk.len());
+        let chunk_offset = self.pos;
+        let marker = read_u8(&mut self.r, &mut self.pos)?;
+        match marker {
+            CHUNK_MARKER => {
+                let plen = read_u32(&mut self.r, &mut self.pos)?;
+                let nrecords = read_u32(&mut self.r, &mut self.pos)?;
+                if plen > MAX_CHUNK_PAYLOAD
+                    || nrecords > MAX_CHUNK_RECORDS
+                    || (nrecords == 0) != (plen == 0)
+                    // Every record costs at least a tag byte.
+                    || (nrecords as u64) > (plen as u64)
+                {
+                    return Err(TraceFileError::BadStructure { offset: chunk_offset });
+                }
+                let crc = read_u32(&mut self.r, &mut self.pos)?;
+                self.payload.resize(plen as usize, 0);
+                read_exact_at(&mut self.r, &mut self.payload, &mut self.pos)?;
+                if crc32(&self.payload) != crc {
+                    return Err(TraceFileError::ChecksumMismatch { chunk_offset });
+                }
+                self.chunk.clear();
+                self.chunk_pos = 0;
+                ChunkDecoder::new(&self.payload)
+                    .decode_all(nrecords as usize, &mut self.chunk)
+                    .map_err(|error| TraceFileError::Corrupt { chunk_offset, error })?;
+                self.total_seen += nrecords as u64;
+                Ok(true)
+            }
+            END_MARKER => {
+                let mut count = [0u8; 8];
+                read_exact_at(&mut self.r, &mut count, &mut self.pos)?;
+                let crc = read_u32(&mut self.r, &mut self.pos)?;
+                if crc32(&count) != crc {
+                    return Err(TraceFileError::ChecksumMismatch { chunk_offset });
+                }
+                let expected = u64::from_le_bytes(count);
+                if expected != self.total_seen {
+                    return Err(TraceFileError::CountMismatch {
+                        expected,
+                        found: self.total_seen,
+                    });
+                }
+                self.done = true;
+                Ok(false)
+            }
+            _ => Err(TraceFileError::BadStructure { offset: chunk_offset }),
+        }
+    }
+
+    /// The next record, or `None` at the verified end of the trace.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceFileError> {
+        while self.chunk_pos >= self.chunk.len() {
+            if self.done || !self.load_next_chunk()? {
+                return Ok(None);
+            }
+        }
+        let r = self.chunk[self.chunk_pos];
+        self.chunk_pos += 1;
+        Ok(Some(r))
+    }
+
+    /// Appends up to `n` records to `buf`, returning how many were
+    /// appended (fewer only at the verified end of the trace).
+    pub fn next_records_into(
+        &mut self,
+        buf: &mut Vec<TraceRecord>,
+        n: usize,
+    ) -> Result<usize, TraceFileError> {
+        let mut appended = 0;
+        while appended < n {
+            if self.chunk_pos >= self.chunk.len() {
+                if self.done || !self.load_next_chunk()? {
+                    break;
+                }
+                continue;
+            }
+            let take = (self.chunk.len() - self.chunk_pos).min(n - appended);
+            buf.extend_from_slice(&self.chunk[self.chunk_pos..self.chunk_pos + take]);
+            self.chunk_pos += take;
+            appended += take;
+        }
+        Ok(appended)
+    }
+
+    /// Reads and validates the whole remaining trace.
+    pub fn read_all(&mut self) -> Result<Vec<TraceRecord>, TraceFileError> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceFileError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+fn read_exact_at<R: Read>(r: &mut R, buf: &mut [u8], pos: &mut u64) -> Result<(), TraceFileError> {
+    match r.read_exact(buf) {
+        Ok(()) => {
+            *pos += buf.len() as u64;
+            Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            Err(TraceFileError::Truncated { offset: *pos })
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn read_u8<R: Read>(r: &mut R, pos: &mut u64) -> Result<u8, TraceFileError> {
+    let mut b = [0u8; 1];
+    read_exact_at(r, &mut b, pos)?;
+    Ok(b[0])
+}
+
+fn read_u16<R: Read>(r: &mut R, pos: &mut u64) -> Result<u16, TraceFileError> {
+    let mut b = [0u8; 2];
+    read_exact_at(r, &mut b, pos)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R, pos: &mut u64) -> Result<u32, TraceFileError> {
+    let mut b = [0u8; 4];
+    read_exact_at(r, &mut b, pos)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+// ---------------------------------------------------------------------
+// Convenience one-shot APIs
+// ---------------------------------------------------------------------
+
+/// Encodes a whole trace into a `.fadet` byte buffer.
+pub fn encode_trace(meta: &TraceMeta, records: &[TraceRecord]) -> Vec<u8> {
+    let mut w = TraceWriter::new(Vec::new(), meta).expect("Vec<u8> writes are infallible");
+    w.write_all(records).expect("Vec<u8> writes are infallible");
+    w.finish().expect("Vec<u8> writes are infallible")
+}
+
+/// Decodes and fully validates a `.fadet` byte buffer.
+pub fn decode_trace(bytes: &[u8]) -> Result<(TraceMeta, Vec<TraceRecord>), TraceFileError> {
+    let mut r = TraceReader::new(bytes)?;
+    let records = r.read_all()?;
+    Ok((r.meta.clone(), records))
+}
+
+/// Writes a whole trace to a file.
+pub fn write_trace_file(
+    path: impl AsRef<Path>,
+    meta: &TraceMeta,
+    records: &[TraceRecord],
+) -> Result<(), TraceFileError> {
+    let f = std::fs::File::create(path)?;
+    let mut w = TraceWriter::new(io::BufWriter::new(f), meta)?;
+    w.write_all(records)?;
+    w.finish()?.flush()?;
+    Ok(())
+}
+
+/// Reads and fully validates a trace file.
+pub fn read_trace_file(
+    path: impl AsRef<Path>,
+) -> Result<(TraceMeta, Vec<TraceRecord>), TraceFileError> {
+    let mut r = TraceReader::open(path)?;
+    let records = r.read_all()?;
+    Ok((r.meta.clone(), records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+    use crate::program::SyntheticProgram;
+
+    fn sample(name: &str, seed: u64, n: usize) -> Vec<TraceRecord> {
+        let p = bench::by_name(name).unwrap();
+        let mut prog = SyntheticProgram::new(&p, seed);
+        (0..n).map(|_| prog.next_record()).collect()
+    }
+
+    fn meta() -> TraceMeta {
+        TraceMeta::new("gcc", 42)
+    }
+
+    #[test]
+    fn round_trips_across_chunk_boundaries() {
+        let records = sample("gcc", 42, 10_000);
+        for chunk_records in [1usize, 3, 100, 4096, 100_000] {
+            let mut w = TraceWriter::new(Vec::new(), &meta())
+                .unwrap()
+                .with_chunk_records(chunk_records);
+            w.write_all(&records).unwrap();
+            let bytes = w.finish().unwrap();
+            let (m, back) = decode_trace(&bytes).unwrap();
+            assert_eq!(m, meta());
+            assert_eq!(back, records, "chunk size {chunk_records}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = encode_trace(&meta(), &[]);
+        let (m, back) = decode_trace(&bytes).unwrap();
+        assert_eq!(m, meta());
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn streaming_reader_matches_one_shot() {
+        let records = sample("water", 1, 5_000);
+        let bytes = encode_trace(&meta(), &records);
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let mut buf = Vec::new();
+        // Odd-sized pulls deliberately straddle chunk boundaries.
+        while reader.next_records_into(&mut buf, 777).unwrap() > 0 {}
+        assert_eq!(buf, records);
+        assert!(reader.is_done());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(decode_trace(b"").unwrap_err(), TraceFileError::BadMagic);
+        assert_eq!(
+            decode_trace(b"NOTATRCE\x01\x00").unwrap_err(),
+            TraceFileError::BadMagic
+        );
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = encode_trace(&meta(), &[]);
+        bytes[8] = 9; // version low byte
+        assert_eq!(
+            decode_trace(&bytes).unwrap_err(),
+            TraceFileError::UnsupportedVersion { found: 9 }
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let records = sample("gcc", 42, 300);
+        let bytes = encode_trace(&meta(), &records);
+        for cut in 0..bytes.len() {
+            let err = decode_trace(&bytes[..cut]).unwrap_err();
+            // Any strict prefix must fail (the trailer is mandatory),
+            // and must fail with a typed error, not a panic.
+            match err {
+                TraceFileError::BadMagic
+                | TraceFileError::BadHeader
+                | TraceFileError::Truncated { .. } => {}
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_corruption_names_the_chunk_offset() {
+        let records = sample("gcc", 42, 3000);
+        let mut w = TraceWriter::new(Vec::new(), &meta())
+            .unwrap()
+            .with_chunk_records(1000);
+        w.write_all(&records).unwrap();
+        let bytes = w.finish().unwrap();
+        // Locate the second chunk: header, then chunk 1.
+        let header_len = 8 + 2 + 2 + (1 + 3 + 8) + 4;
+        let c1_plen = u32::from_le_bytes(bytes[header_len + 1..header_len + 5].try_into().unwrap());
+        let c2_offset = header_len + 13 + c1_plen as usize;
+        assert_eq!(bytes[c2_offset], CHUNK_MARKER);
+        // Flip a byte in the middle of the second chunk's payload.
+        let mut corrupted = bytes.clone();
+        corrupted[c2_offset + 13 + 40] ^= 0x40;
+        assert_eq!(
+            decode_trace(&corrupted).unwrap_err(),
+            TraceFileError::ChecksumMismatch {
+                chunk_offset: c2_offset as u64
+            }
+        );
+    }
+
+    #[test]
+    fn trailer_count_mismatch_is_detected() {
+        let records = sample("gcc", 42, 100);
+        let mut bytes = encode_trace(&meta(), &records);
+        // Rewrite the trailer with a wrong count (and matching CRC, so
+        // only the cross-check can catch it).
+        let n = bytes.len();
+        let wrong = 99u64.to_le_bytes();
+        bytes[n - 12..n - 4].copy_from_slice(&wrong);
+        bytes[n - 4..].copy_from_slice(&crc32(&wrong).to_le_bytes());
+        assert_eq!(
+            decode_trace(&bytes).unwrap_err(),
+            TraceFileError::CountMismatch {
+                expected: 99,
+                found: 100
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_length_fields_do_not_allocate() {
+        let mut bytes = encode_trace(&meta(), &sample("gcc", 42, 50)[..]);
+        let header_len = 8 + 2 + 2 + (1 + 3 + 8) + 4;
+        // Claim a 4 GiB payload.
+        bytes[header_len + 1..header_len + 5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_trace(&bytes).unwrap_err(),
+            TraceFileError::BadStructure {
+                offset: header_len as u64
+            }
+        );
+    }
+
+    #[test]
+    fn file_round_trip_on_disk() {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file_round_trip.fadet");
+        let records = sample("mcf", 9, 4_000);
+        let m = TraceMeta::new("mcf", 9);
+        write_trace_file(&path, &m, &records).unwrap();
+        let (m2, back) = read_trace_file(&path).unwrap();
+        assert_eq!(m2, m);
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn compression_beats_raw_memory_by_3x() {
+        let records = sample("gcc", 42, 50_000);
+        let bytes = encode_trace(&meta(), &records);
+        let raw = records.len() * std::mem::size_of::<TraceRecord>();
+        assert!(
+            raw as f64 >= 3.0 * bytes.len() as f64,
+            "encoded {} bytes vs {} raw ({}x)",
+            bytes.len(),
+            raw,
+            raw as f64 / bytes.len() as f64
+        );
+    }
+}

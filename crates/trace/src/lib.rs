@@ -20,6 +20,11 @@
 //! (monitored IPC, filtering ratios, queue occupancies). The 13 paper
 //! benchmarks are in [`mod@bench`].
 //!
+//! Generated (or captured) record streams can be frozen to disk in the
+//! versioned `.fadet` format ([`mod@file`]: chunked, checksummed,
+//! varint/delta-encoded by [`mod@codec`]) and replayed bit-exactly —
+//! the interchange point between trace capture and analysis.
+//!
 //! # Example
 //!
 //! ```
@@ -36,13 +41,18 @@
 //! ```
 
 pub mod bench;
+pub mod codec;
+pub mod file;
 pub mod heap;
 pub mod profile;
 pub mod program;
-pub mod record;
 pub mod value;
 
 pub use bench::{by_name, parallel_suite, spec_int_suite, taint_suite};
+pub use file::{
+    decode_trace, encode_trace, read_trace_file, write_trace_file, TraceFileError, TraceMeta,
+    TraceReader, TraceWriter,
+};
 pub use heap::HeapModel;
 pub use profile::{BenchProfile, InstrMix};
 pub use program::{SyntheticProgram, TraceRecord};

@@ -1,0 +1,242 @@
+//! Property tests for the recorded-trace codec and the `.fadet`
+//! container: the encode→decode round-trip is the identity for
+//! *arbitrary* record sequences (not just generator output), whatever
+//! the chunking; and no byte-level corruption — truncation, bit flips,
+//! random garbage — ever panics the decoder or slips through as a
+//! silently wrong trace.
+
+use fade_isa::{
+    AppInstr, HighLevelEvent, InstrClass, MemRef, Reg, StackUpdateEvent, StackUpdateKind,
+    VirtAddr,
+};
+use fade_trace::file::{decode_trace, encode_trace, TraceFileError, TraceMeta, TraceWriter};
+use fade_trace::TraceRecord;
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = InstrClass> {
+    (0usize..InstrClass::ALL.len()).prop_map(|i| InstrClass::ALL[i])
+}
+
+fn arb_opt_reg() -> impl Strategy<Value = Option<Reg>> {
+    prop_oneof![Just(None), (0u8..32).prop_map(|i| Some(Reg::new(i)))]
+}
+
+/// Access sizes: the architectural ones plus arbitrary bytes, so the
+/// explicit-size escape path is exercised.
+fn arb_mem() -> impl Strategy<Value = Option<MemRef>> {
+    let size = prop_oneof![Just(4u8), Just(1u8), Just(2u8), Just(8u8), any::<u8>()];
+    prop_oneof![
+        Just(None),
+        (any::<u32>(), size).prop_map(|(addr, size)| Some(MemRef {
+            addr: VirtAddr::new(addr),
+            size,
+        })),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = TraceRecord> {
+    (
+        (any::<u32>(), arb_class()),
+        (arb_opt_reg(), arb_opt_reg(), arb_opt_reg()),
+        arb_mem(),
+        (any::<u8>(), any::<bool>()),
+    )
+        .prop_map(|((pc, class), (src1, src2, dest), mem, (tid, result_ptr))| {
+            let mut i = AppInstr::new(VirtAddr::new(pc), class)
+                .with_tid(tid)
+                .with_result_ptr(result_ptr);
+            if let Some(r) = src1 {
+                i = i.with_src1(r);
+            }
+            if let Some(r) = src2 {
+                i = i.with_src2(r);
+            }
+            if let Some(r) = dest {
+                i = i.with_dest(r);
+            }
+            if let Some(m) = mem {
+                i = i.with_mem(m);
+            }
+            TraceRecord::Instr(i)
+        })
+}
+
+fn arb_stack() -> impl Strategy<Value = TraceRecord> {
+    (any::<u32>(), any::<u32>(), any::<bool>(), any::<u8>()).prop_map(
+        |(base, len, call, tid)| {
+            TraceRecord::Stack(StackUpdateEvent {
+                base: VirtAddr::new(base),
+                len,
+                kind: if call {
+                    StackUpdateKind::Call
+                } else {
+                    StackUpdateKind::Return
+                },
+                tid,
+            })
+        },
+    )
+}
+
+/// Every [`HighLevelEvent`] variant.
+fn arb_high() -> impl Strategy<Value = TraceRecord> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(base, len, ctx)| {
+            TraceRecord::High(HighLevelEvent::Malloc {
+                base: VirtAddr::new(base),
+                len,
+                ctx,
+            })
+        }),
+        (any::<u32>(), any::<u32>()).prop_map(|(base, len)| TraceRecord::High(
+            HighLevelEvent::Free {
+                base: VirtAddr::new(base),
+                len,
+            }
+        )),
+        (any::<u32>(), any::<u32>()).prop_map(|(base, len)| TraceRecord::High(
+            HighLevelEvent::TaintSource {
+                base: VirtAddr::new(base),
+                len,
+            }
+        )),
+        any::<u8>().prop_map(|tid| TraceRecord::High(HighLevelEvent::ThreadSwitch { tid })),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    prop_oneof![arb_instr(), arb_stack(), arb_high()]
+}
+
+fn meta() -> TraceMeta {
+    TraceMeta::new("arbitrary", 7)
+}
+
+fn encode_chunked(records: &[TraceRecord], chunk_records: usize) -> Vec<u8> {
+    let mut w = TraceWriter::new(Vec::new(), &meta())
+        .unwrap()
+        .with_chunk_records(chunk_records);
+    w.write_all(records).unwrap();
+    w.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode→decode is the identity for arbitrary record sequences,
+    /// across chunk sizes down to one record per chunk — so every
+    /// prediction-context reset at a chunk boundary is exercised, and
+    /// records straddling boundaries in every possible way survive.
+    #[test]
+    fn round_trip_is_identity(
+        records in prop::collection::vec(arb_record(), 0..300),
+        chunk_records in 1usize..80,
+    ) {
+        let bytes = encode_chunked(&records, chunk_records);
+        let (m, back) = decode_trace(&bytes)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(m, meta());
+        prop_assert_eq!(back, records);
+    }
+
+    /// Chunking is invisible: any two chunk sizes produce byte streams
+    /// that decode to the same records.
+    #[test]
+    fn chunking_does_not_change_the_decoded_trace(
+        records in prop::collection::vec(arb_record(), 1..200),
+        a in 1usize..50,
+        b in 50usize..5000,
+    ) {
+        let da = decode_trace(&encode_chunked(&records, a))
+            .map_err(|e| TestCaseError::fail(format!("decode a: {e}")))?;
+        let db = decode_trace(&encode_chunked(&records, b))
+            .map_err(|e| TestCaseError::fail(format!("decode b: {e}")))?;
+        prop_assert_eq!(da.1, db.1);
+    }
+
+    /// Every strict prefix of a valid file fails with a typed error —
+    /// the mandatory trailer means truncation can never read as a
+    /// shorter-but-valid trace, and it never panics.
+    #[test]
+    fn truncation_is_always_a_typed_error(
+        records in prop::collection::vec(arb_record(), 0..120),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = encode_chunked(&records, 32);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(decode_trace(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+    }
+
+    /// Any single bit flip anywhere in the file is detected: header and
+    /// trailer fields are covered by their own CRCs, payloads by the
+    /// per-chunk CRC, and structure fields fail validation. Never Ok,
+    /// never a panic.
+    #[test]
+    fn single_bit_flips_are_always_detected(
+        records in prop::collection::vec(arb_record(), 1..120),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_chunked(&records, 32);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        match decode_trace(&bytes) {
+            Err(_) => {}
+            Ok((m, back)) => {
+                // The only acceptable "Ok" would be a flip that decodes
+                // back to the identical trace — impossible for a real
+                // flip, so flag it loudly.
+                prop_assert!(
+                    m == meta() && back == records,
+                    "flip at byte {pos} bit {bit} produced a different valid trace"
+                );
+                prop_assert!(false, "flip at byte {pos} bit {bit} went undetected");
+            }
+        }
+    }
+
+    /// Feeding arbitrary garbage to the decoder returns an error (or an
+    /// empty-but-valid trace if the bytes happen to be one) without
+    /// panicking — the fuzz guarantee the robustness contract promises.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_trace(&bytes);
+    }
+
+    /// Same, but with a valid header prefix so the fuzz reaches the
+    /// chunk machinery instead of dying at the magic check.
+    #[test]
+    fn garbage_after_a_valid_header_never_panics(tail in prop::collection::vec(any::<u8>(), 0..300)) {
+        let mut bytes = encode_trace(&meta(), &[]);
+        // Strip the trailer (13 bytes), then append garbage.
+        bytes.truncate(bytes.len() - 13);
+        bytes.extend_from_slice(&tail);
+        let _ = decode_trace(&bytes);
+    }
+}
+
+/// Truncation mid-file names a typed error for *every* cut point, not
+/// just sampled ones (exhaustive on a small trace).
+#[test]
+fn exhaustive_truncation_sweep() {
+    let records: Vec<TraceRecord> = (0..64u32)
+        .map(|i| {
+            TraceRecord::Instr(
+                AppInstr::new(VirtAddr::new(0x1000 + 4 * i), InstrClass::Load)
+                    .with_dest(Reg::new(5))
+                    .with_mem(MemRef::word(VirtAddr::new(0x8000_0000 + 8 * i))),
+            )
+        })
+        .collect();
+    let bytes = encode_chunked(&records, 16);
+    for cut in 0..bytes.len() {
+        match decode_trace(&bytes[..cut]) {
+            Err(
+                TraceFileError::BadMagic
+                | TraceFileError::BadHeader
+                | TraceFileError::Truncated { .. },
+            ) => {}
+            other => panic!("cut at {cut}: unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Record a workload to a `.fadet` trace file, then replay it through
+//! the monitoring system and check the replayed run is indistinguishable
+//! from the live one.
+//!
+//! ```text
+//! cargo run --release --example record_replay
+//! ```
+
+use fade_repro::prelude::*;
+use fade_repro::trace::{bench, TraceMeta, TraceRecord};
+
+const INSTRS: u64 = 30_000;
+
+fn main() {
+    let workload = bench::by_name("gcc").unwrap();
+    let cfg = SystemConfig::fade_single_core();
+
+    // ---- Record: freeze the trace prefix a 30k-instruction run consumes.
+    let mut prog = SyntheticProgram::new(&workload, cfg.seed);
+    let mut records = Vec::new();
+    let mut instrs = 0u64;
+    while instrs < INSTRS {
+        let r = prog.next_record();
+        if matches!(r, TraceRecord::Instr(_)) {
+            instrs += 1;
+        }
+        records.push(r);
+    }
+    let dir = std::path::Path::new("target");
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("record_replay.fadet");
+    let meta = TraceMeta::new("gcc", cfg.seed);
+    fade_repro::trace::write_trace_file(&path, &meta, &records).unwrap();
+    let raw = records.len() * std::mem::size_of::<TraceRecord>();
+    let encoded = std::fs::metadata(&path).unwrap().len();
+    println!(
+        "recorded {} records to {} ({} bytes, {:.1}x smaller than the {} in-memory bytes)",
+        records.len(),
+        path.display(),
+        encoded,
+        raw as f64 / encoded as f64,
+        raw,
+    );
+
+    // ---- Live run: generate on the fly, cycle-accurately.
+    let mut live = MonitoringSystem::new(&workload, "MemLeak", &cfg);
+    live.run_instrs_exact(INSTRS);
+    live.drain();
+
+    // ---- Replay: stream the file back through the batched engine. The
+    // benchmark profile comes from the file's own header metadata.
+    let mut replay = MonitoringSystem::from_trace_file(&path, "MemLeak", &cfg).unwrap();
+    replay.run_batched(INSTRS);
+    replay.drain();
+
+    println!(
+        "live:   {} events, {} violations",
+        live.events_seen(),
+        live.monitor().reports().len(),
+    );
+    println!(
+        "replay: {} events, {} violations ({}% fast path)",
+        replay.events_seen(),
+        replay.monitor().reports().len(),
+        (100.0 * replay.batch_stats().fast_path_fraction()).round(),
+    );
+    assert_eq!(live.events_seen(), replay.events_seen());
+    assert!(live.state() == replay.state(), "metadata state diverged");
+    assert_eq!(live.monitor().reports(), replay.monitor().reports());
+    println!("replayed run is bit-exact with live generation");
+}

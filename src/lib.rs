@@ -53,8 +53,12 @@ pub mod prelude {
     pub use fade_monitors::{monitor_by_name, Monitor};
     pub use fade_shadow::MetadataState;
     pub use fade_system::{
-        measure_system_throughput, run_experiment, run_experiment_mode, ExecMode,
-        MonitoringSystem, RunStats, SystemConfig,
+        measure_system_throughput, measure_trace_codec, record_trace_prefix, run_experiment,
+        run_experiment_mode, ExecMode, MonitoringSystem, ReplayBuffer, RunStats, SystemConfig,
+        TraceSource,
     };
-    pub use fade_trace::{bench, BenchProfile, SyntheticProgram};
+    pub use fade_trace::{
+        bench, read_trace_file, write_trace_file, BenchProfile, SyntheticProgram, TraceMeta,
+        TraceReader, TraceRecord, TraceWriter,
+    };
 }

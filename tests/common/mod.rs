@@ -1,0 +1,42 @@
+//! Helpers shared by the differential harnesses
+//! (`tests/differential.rs`, `tests/trace_replay.rs`): the definition
+//! of "monitor-visible results" lives here once, so growing the
+//! bit-exactness contract (a new counter, a new assertion) updates
+//! every harness at the same time.
+
+use fade_repro::prelude::*;
+use fade_repro::trace::bench;
+
+/// The benchmark suite a monitor is evaluated on (Section 6 of the
+/// paper; mirrors `fade_bench::experiments::suite_for`).
+pub fn suite_for(monitor: &str) -> Vec<BenchProfile> {
+    match monitor {
+        "AtomCheck" => bench::parallel_suite(),
+        "TaintCheck" => bench::taint_suite(),
+        _ => bench::spec_int_suite(),
+    }
+}
+
+/// The accelerator counters that must not depend on the execution
+/// engine (the cycle/stall counters legitimately do).
+pub fn functional_counters(sys: &MonitoringSystem) -> Option<[u64; 7]> {
+    sys.fade_stats().map(|f| f.functional_counters())
+}
+
+/// Everything a monitor can observe must be identical between two runs
+/// over the same trace prefix.
+pub fn assert_monitor_visible_equal(a: &MonitoringSystem, b: &MonitoringSystem, what: &str) {
+    assert_eq!(a.instrs(), b.instrs(), "{what}: instruction counts");
+    assert_eq!(a.events_seen(), b.events_seen(), "{what}: event counts");
+    assert!(a.state() == b.state(), "{what}: final MetadataState");
+    assert_eq!(
+        a.monitor().reports(),
+        b.monitor().reports(),
+        "{what}: violation sets"
+    );
+    assert_eq!(
+        functional_counters(a),
+        functional_counters(b),
+        "{what}: functional accelerator counters"
+    );
+}

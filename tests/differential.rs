@@ -19,6 +19,9 @@ use fade_repro::prelude::*;
 use fade_repro::system::measure_system_throughput;
 use fade_repro::trace::bench;
 
+mod common;
+use common::{assert_monitor_visible_equal, suite_for};
+
 /// Documented tolerance of the sampled cycle estimate vs a full
 /// cycle-accurate simulation (relative error), for a workload whose
 /// sampling configuration was chosen for accuracy (see the README's
@@ -34,22 +37,6 @@ const DEFAULT_CYCLE_TOLERANCE: f64 = 0.10;
 /// small traces, since the sweep covers every pair.
 const SWEEP_INSTRS: u64 = 25_000;
 
-/// The benchmark suite a monitor is evaluated on (Section 6 of the
-/// paper; mirrors `fade_bench::experiments::suite_for`).
-fn suite_for(monitor: &str) -> Vec<BenchProfile> {
-    match monitor {
-        "AtomCheck" => bench::parallel_suite(),
-        "TaintCheck" => bench::taint_suite(),
-        _ => bench::spec_int_suite(),
-    }
-}
-
-/// The accelerator counters that must not depend on the execution
-/// engine (the cycle/stall counters legitimately do).
-fn functional_counters(sys: &MonitoringSystem) -> Option<[u64; 7]> {
-    sys.fade_stats().map(|f| f.functional_counters())
-}
-
 /// Runs one system over exactly `instrs` instructions with the given
 /// engine, drained so nothing is left in flight.
 fn run(bench: &BenchProfile, monitor: &str, cfg: &SystemConfig, instrs: u64, batched: bool) -> MonitoringSystem {
@@ -61,18 +48,6 @@ fn run(bench: &BenchProfile, monitor: &str, cfg: &SystemConfig, instrs: u64, bat
     }
     sys.drain();
     sys
-}
-
-fn assert_monitor_visible_equal(a: &MonitoringSystem, b: &MonitoringSystem, what: &str) {
-    assert_eq!(a.instrs(), b.instrs(), "{what}: instruction counts");
-    assert_eq!(a.events_seen(), b.events_seen(), "{what}: event counts");
-    assert!(a.state() == b.state(), "{what}: final MetadataState");
-    assert_eq!(a.monitor().reports(), b.monitor().reports(), "{what}: violation sets");
-    assert_eq!(
-        functional_counters(a),
-        functional_counters(b),
-        "{what}: functional accelerator counters"
-    );
 }
 
 /// Every monitor, over a small trace of each profile of its suite:

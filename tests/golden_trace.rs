@@ -1,0 +1,97 @@
+//! Byte-stability test for the `.fadet` trace format.
+//!
+//! Encodes a fixed-seed trace and compares the bytes against a
+//! committed golden fixture. The format promises that the same records
+//! always encode to the same bytes *and* that old files stay readable:
+//! any diff here is a format change, which must be intentional and must
+//! come with a version bump if it breaks old readers.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release -p fade-repro --test golden_trace
+//! ```
+//!
+//! then review the diff of `tests/golden/trace_gcc.fadet` like any
+//! other code change.
+
+use std::path::PathBuf;
+
+use fade_repro::trace::file::{decode_trace, TraceWriter};
+use fade_repro::trace::{bench, SyntheticProgram, TraceMeta, TraceRecord};
+
+/// Records in the fixture: small enough to commit, large enough to span
+/// several chunks and every record kind.
+const RECORDS: usize = 2_000;
+/// Chunk size of the fixture (multiple chunks on purpose).
+const CHUNK_RECORDS: usize = 512;
+const BENCH: &str = "gcc";
+const SEED: u64 = 42;
+
+fn golden_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/repro; the golden files live in the
+    // repository-root tests/ directory next to this test's source.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/trace_gcc.fadet")
+}
+
+fn fixture_records() -> Vec<TraceRecord> {
+    let p = bench::by_name(BENCH).unwrap();
+    let mut prog = SyntheticProgram::new(&p, SEED);
+    let mut records = Vec::new();
+    prog.next_records_into(&mut records, RECORDS);
+    records
+}
+
+fn fixture_bytes(records: &[TraceRecord]) -> Vec<u8> {
+    let meta = TraceMeta::new(BENCH, SEED);
+    let mut w = TraceWriter::new(Vec::new(), &meta)
+        .unwrap()
+        .with_chunk_records(CHUNK_RECORDS);
+    w.write_all(records).unwrap();
+    w.finish().unwrap()
+}
+
+#[test]
+fn fadet_encoding_is_byte_stable() {
+    let records = fixture_records();
+    let bytes = fixture_bytes(&records);
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &bytes).expect("write golden trace");
+        eprintln!("updated {} ({} bytes)", path.display(), bytes.len());
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        golden == bytes,
+        "`.fadet` encoding drifted from the golden fixture ({} golden \
+         bytes vs {} encoded); if the format change is intentional, bump \
+         the version if needed, regenerate with UPDATE_GOLDEN=1, and \
+         review the diff",
+        golden.len(),
+        bytes.len()
+    );
+}
+
+/// The committed fixture itself must keep decoding to the generator's
+/// records — the backward-readability half of the stability promise
+/// (a pure encoder change would pass byte equality trivially; this
+/// catches decoder regressions against real old bytes).
+#[test]
+fn golden_fixture_decodes_to_the_recorded_trace() {
+    let path = golden_path();
+    let Ok(golden) = std::fs::read(&path) else {
+        // The byte-stability test reports the missing fixture.
+        return;
+    };
+    let (meta, records) = decode_trace(&golden)
+        .unwrap_or_else(|e| panic!("golden fixture no longer decodes: {e}"));
+    assert_eq!(meta, TraceMeta::new(BENCH, SEED));
+    assert_eq!(records, fixture_records());
+}

@@ -1,0 +1,148 @@
+//! Record/replay differential harness: a trace recorded to the
+//! `.fadet` format and replayed must be bit-exact with live generation
+//! in everything a monitor can observe — for every monitor/benchmark
+//! pair, in both the cycle-accurate and the batched execution engine.
+//!
+//! This is the contract that makes the trace-file subsystem safe to
+//! build on: once a workload is "a file we replay", every result
+//! produced from the file must be indistinguishable from the run that
+//! produced the file.
+
+use fade_repro::monitors::all_monitors;
+use fade_repro::prelude::*;
+use fade_repro::system::ReplayBuffer;
+use fade_repro::trace::file::{decode_trace, encode_trace};
+use fade_repro::trace::{bench, TraceMeta, TraceRecord};
+
+mod common;
+use common::{assert_monitor_visible_equal, suite_for};
+
+/// Instructions per (monitor, benchmark) point: small traces, since the
+/// sweep covers every pair three ways (live, replay-cycle,
+/// replay-batched).
+const SWEEP_INSTRS: u64 = 12_000;
+
+/// A sampling configuration small enough that every sweep trace crosses
+/// several batch→cycle→batch transitions.
+fn cfg() -> SystemConfig {
+    SystemConfig::fade_single_core()
+        .with_sample_period(1024)
+        .with_sample_window(256)
+}
+
+/// Generates the trace prefix holding the first `n_instrs` instruction
+/// records — the stream a live run over `n_instrs` instructions
+/// consumes (the generator is deterministic per seed).
+fn record_prefix(b: &BenchProfile, seed: u64, n_instrs: u64) -> Vec<TraceRecord> {
+    let mut prog = SyntheticProgram::new(b, seed);
+    let mut records = Vec::new();
+    let mut instrs = 0u64;
+    while instrs < n_instrs {
+        let r = prog.next_record();
+        if matches!(r, TraceRecord::Instr(_)) {
+            instrs += 1;
+        }
+        records.push(r);
+    }
+    records
+}
+
+fn run_live(b: &BenchProfile, monitor: &str, instrs: u64) -> MonitoringSystem {
+    let mut sys = MonitoringSystem::new(b, monitor, &cfg());
+    sys.run_instrs_exact(instrs);
+    sys.drain();
+    sys
+}
+
+fn run_replay(
+    b: &BenchProfile,
+    monitor: &str,
+    records: Vec<TraceRecord>,
+    instrs: u64,
+    batched: bool,
+) -> MonitoringSystem {
+    let mut sys = MonitoringSystem::with_source(
+        b,
+        monitor,
+        &cfg(),
+        Box::new(ReplayBuffer::new(records)),
+    );
+    if batched {
+        sys.run_batched(instrs);
+    } else {
+        sys.run_instrs_exact(instrs);
+    }
+    sys.drain();
+    sys
+}
+
+/// For every monitor and every benchmark of its suite: record the
+/// generated trace, push it through the full `.fadet` codec, replay it,
+/// and require bit-exact monitor-visible results against live
+/// generation — in cycle mode *and* in batched mode.
+#[test]
+fn replayed_trace_is_bit_exact_with_live_generation() {
+    for monitor in all_monitors() {
+        let name = monitor.name();
+        for b in suite_for(name) {
+            let records = record_prefix(&b, cfg().seed, SWEEP_INSTRS);
+
+            // Round-trip the recording through the file format, so the
+            // replayed stream is what a consumer of the file would see.
+            let meta = TraceMeta::new(b.name, cfg().seed);
+            let bytes = encode_trace(&meta, &records);
+            let (meta2, replayed) = decode_trace(&bytes)
+                .unwrap_or_else(|e| panic!("{name}/{}: decode failed: {e}", b.name));
+            assert_eq!(meta2, meta, "{name}/{}: metadata", b.name);
+            assert_eq!(replayed, records, "{name}/{}: codec round-trip", b.name);
+
+            let live = run_live(&b, name, SWEEP_INSTRS);
+            let cycle = run_replay(&b, name, replayed.clone(), SWEEP_INSTRS, false);
+            assert_monitor_visible_equal(
+                &live,
+                &cycle,
+                &format!("{name}/{} replay-cycle", b.name),
+            );
+            // Cycle-mode replay consumes the identical stream, so even
+            // the timing is exact.
+            assert_eq!(
+                live.cycles(),
+                cycle.cycles(),
+                "{name}/{}: replay-cycle timing",
+                b.name
+            );
+
+            let batched = run_replay(&b, name, replayed, SWEEP_INSTRS, true);
+            assert!(
+                batched.batch_stats().events > 0,
+                "{name}/{}: batched path unused",
+                b.name
+            );
+            assert_monitor_visible_equal(
+                &live,
+                &batched,
+                &format!("{name}/{} replay-batched", b.name),
+            );
+        }
+    }
+}
+
+/// Replay straight from a `.fadet` file on disk, streamed through
+/// `TraceReader` (chunk-at-a-time, no full materialization), with the
+/// benchmark profile resolved from the file's own header metadata.
+#[test]
+fn streamed_file_replay_matches_live() {
+    let b = bench::by_name("gcc").unwrap();
+    let records = record_prefix(&b, cfg().seed, SWEEP_INSTRS);
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("streamed_replay.fadet");
+    fade_repro::trace::write_trace_file(&path, &TraceMeta::new("gcc", cfg().seed), &records)
+        .unwrap();
+
+    let live = run_live(&b, "MemLeak", SWEEP_INSTRS);
+    let mut streamed = MonitoringSystem::from_trace_file(&path, "MemLeak", &cfg()).unwrap();
+    streamed.run_batched(SWEEP_INSTRS);
+    streamed.drain();
+    assert_monitor_visible_equal(&live, &streamed, "MemLeak/gcc streamed file replay");
+}
