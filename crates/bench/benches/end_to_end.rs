@@ -3,7 +3,7 @@
 //! configuration.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use fade_system::{MonitoringSystem, SystemConfig};
+use fade_system::{Session, SystemConfig};
 use fade_trace::bench;
 use std::hint::black_box;
 use std::time::Duration;
@@ -21,10 +21,15 @@ fn bench_end_to_end(c: &mut Criterion) {
     for (name, cfg) in cases {
         g.bench_function(format!("memleak_gcc_{name}"), |b| {
             let profile = bench::by_name("gcc").unwrap();
-            let mut sys = MonitoringSystem::new(&profile, "MemLeak", &cfg);
-            sys.run_instrs(5_000); // warm
+            let mut sys = Session::builder()
+                .monitor("MemLeak")
+                .source(profile)
+                .config(cfg)
+                .build()
+                .unwrap();
+            sys.run(5_000); // warm
             b.iter(|| {
-                sys.run_instrs(5_000);
+                sys.run(5_000);
                 black_box(sys.cycles());
             })
         });

@@ -9,42 +9,91 @@
 //! 4. **Multi-shot encoding** (Section 4.1): MemCheck re-encoded as
 //!    two-shot chains — same filtering, one extra cycle per chained
 //!    event.
+//!
+//! Each ablated point is an `Experiment` carrying its edited FADE
+//! program; the whole grid runs through the sharded matrix driver.
 
-use fade::{EventTableEntry, FilterMode};
-use fade_bench::{measure_len, warmup_len, Table};
+use fade::{EventTableEntry, FadeProgram, FilterMode};
+use fade_bench::{Experiment, ExperimentMatrix, Table};
 use fade_isa::event_ids;
 use fade_monitors::monitor_by_name;
-use fade_system::{baseline_cycles, MonitoringSystem, SystemConfig};
+use fade_system::SystemConfig;
 use fade_trace::bench;
 
-fn run_with_program(
-    monitor: &str,
-    workload: &str,
-    cfg: &SystemConfig,
-    edit: impl FnOnce(&mut fade::FadeProgram),
-) -> f64 {
-    let b = bench::by_name(workload).unwrap();
-    let mon = monitor_by_name(monitor).unwrap();
-    let mut program = mon.program();
+/// The monitor's own program, with an edit applied.
+fn edited_program(monitor: &str, edit: impl FnOnce(&mut FadeProgram)) -> FadeProgram {
+    let mut program = monitor_by_name(monitor)
+        .unwrap_or_else(|| panic!("unknown monitor {monitor}"))
+        .program();
     edit(&mut program);
-    let mut sys = MonitoringSystem::with_program(&b, mon, program, cfg);
-    let warm = warmup_len();
-    let meas = measure_len();
-    sys.run_instrs(warm);
-    sys.start_measure();
-    sys.run_instrs(meas);
-    let base = baseline_cycles(&b, cfg.core, cfg.seed, warm, meas);
-    sys.finish(b.name, base).slowdown()
+    program
+}
+
+/// Clears the partial bit on AtomCheck's load/store entries and makes
+/// the clean check unsatisfiable, so every dispatch runs the long
+/// handler (see DESIGN.md on why plain bit-clearing would over-filter).
+fn no_partial(p: &mut FadeProgram) {
+    for id in [event_ids::LOAD, event_ids::STORE] {
+        let e = *p.table().entry(id).expect("AtomCheck programs loads/stores");
+        let mut raw: EventTableEntry = e;
+        raw.partial = false;
+        // Without the partial bit a passing check would filter the
+        // event outright and lose the access-type update; force
+        // dispatch by making the check unsatisfiable.
+        raw.operands[0].inv_id = raw.operands[0].inv_id.map(|_| fade::InvId::new(31));
+        raw.operands[2].inv_id = raw.operands[2].inv_id.map(|_| fade::InvId::new(31));
+        p.set_entry(id, raw);
+        p.set_invariant(fade::InvId::new(31), 0xfe); // never matches
+    }
 }
 
 fn main() {
     let cfg = SystemConfig::fade_single_core();
+    let pt = |monitor: &str, workload: &str, cfg: &SystemConfig, program: FadeProgram| {
+        Experiment::new(bench::by_name(workload).unwrap(), monitor, *cfg).program(program)
+    };
+
+    const SUU_POINTS: [(&str, &str); 3] =
+        [("MemCheck", "gcc"), ("MemLeak", "gcc"), ("MemLeak", "astar")];
+    const PARTIAL_POINTS: [&str; 3] = ["water", "ocean", "stream."];
+    const BLOCKING_POINTS: [&str; 4] = ["astar", "gcc", "mcf", "omnet"];
+    const MULTI_SHOT_POINTS: [&str; 2] = ["gcc", "hmmer"];
+
+    let mut matrix = ExperimentMatrix::new();
+    for (monitor, workload) in SUU_POINTS {
+        matrix.push(pt(monitor, workload, &cfg, edited_program(monitor, |_| {})));
+        matrix.push(pt(monitor, workload, &cfg, edited_program(monitor, |p| p.clear_suu())));
+    }
+    for workload in PARTIAL_POINTS {
+        matrix.push(pt("AtomCheck", workload, &cfg, edited_program("AtomCheck", |_| {})));
+        matrix.push(pt("AtomCheck", workload, &cfg, edited_program("AtomCheck", no_partial)));
+    }
+    for workload in BLOCKING_POINTS {
+        matrix.push(pt("MemLeak", workload, &cfg, edited_program("MemLeak", |_| {})));
+        matrix.push(pt(
+            "MemLeak",
+            workload,
+            &cfg.with_mode(FilterMode::Blocking),
+            edited_program("MemLeak", |_| {}),
+        ));
+    }
+    for workload in MULTI_SHOT_POINTS {
+        matrix.push(pt("MemCheck", workload, &cfg, edited_program("MemCheck", |_| {})));
+        matrix.push(pt(
+            "MemCheck",
+            workload,
+            &cfg,
+            fade_monitors::MemCheck::new().program_multi_shot(),
+        ));
+    }
+
+    let mut runs = matrix.run_stats().into_iter();
+    let mut slow = || -> f64 { runs.next().expect("one result per ablation point").slowdown() };
 
     println!("Ablation 1: Stack-Update Unit (monitors that shadow the stack)");
     let mut t = Table::new(["monitor/bench", "with SUU", "SUU disabled (software)"]);
-    for (monitor, workload) in [("MemCheck", "gcc"), ("MemLeak", "gcc"), ("MemLeak", "astar")] {
-        let with_suu = run_with_program(monitor, workload, &cfg, |_| {});
-        let without = run_with_program(monitor, workload, &cfg, |p| p.clear_suu());
+    for (monitor, workload) in SUU_POINTS {
+        let (with_suu, without) = (slow(), slow());
         t.row([
             format!("{monitor}/{workload}"),
             format!("{with_suu:.2}"),
@@ -55,24 +104,8 @@ fn main() {
 
     println!("\nAblation 2: partial filtering (AtomCheck)");
     let mut t = Table::new(["bench", "partial filtering", "full handler always"]);
-    for workload in ["water", "ocean", "stream."] {
-        let with_partial = run_with_program("AtomCheck", workload, &cfg, |_| {});
-        let without = run_with_program("AtomCheck", workload, &cfg, |p| {
-            // Clear the partial bit: a passed check no longer selects
-            // the short handler, so every dispatch runs the long one.
-            for id in [event_ids::LOAD, event_ids::STORE] {
-                let e = *p.table().entry(id).expect("AtomCheck programs loads/stores");
-                let mut raw: EventTableEntry = e;
-                raw.partial = false;
-                // Without the partial bit a passing check would filter
-                // the event outright and lose the access-type update;
-                // force dispatch by making the check unsatisfiable.
-                raw.operands[0].inv_id = raw.operands[0].inv_id.map(|_| fade::InvId::new(31));
-                raw.operands[2].inv_id = raw.operands[2].inv_id.map(|_| fade::InvId::new(31));
-                p.set_entry(id, raw);
-                p.set_invariant(fade::InvId::new(31), 0xfe); // never matches
-            }
-        });
+    for workload in PARTIAL_POINTS {
+        let (with_partial, without) = (slow(), slow());
         t.row([
             workload.to_string(),
             format!("{with_partial:.2}"),
@@ -83,14 +116,8 @@ fn main() {
 
     println!("\nAblation 3: non-blocking filtering (per benchmark, MemLeak)");
     let mut t = Table::new(["bench", "non-blocking", "blocking"]);
-    for workload in ["astar", "gcc", "mcf", "omnet"] {
-        let nb = run_with_program("MemLeak", workload, &cfg, |_| {});
-        let blocking = run_with_program(
-            "MemLeak",
-            workload,
-            &cfg.with_mode(FilterMode::Blocking),
-            |_| {},
-        );
+    for workload in BLOCKING_POINTS {
+        let (nb, blocking) = (slow(), slow());
         t.row([
             workload.to_string(),
             format!("{nb:.2}"),
@@ -101,21 +128,8 @@ fn main() {
 
     println!("\nAblation 4: single-shot vs multi-shot encoding (MemCheck)");
     let mut t = Table::new(["bench", "single-shot", "two-shot chain"]);
-    for workload in ["gcc", "hmmer"] {
-        let single = run_with_program("MemCheck", workload, &cfg, |_| {});
-        let multi = {
-            let b = bench::by_name(workload).unwrap();
-            let mon = monitor_by_name("memcheck").unwrap();
-            let program = fade_monitors::MemCheck::new().program_multi_shot();
-            let mut sys = MonitoringSystem::with_program(&b, mon, program, &cfg);
-            let warm = warmup_len();
-            let meas = measure_len();
-            sys.run_instrs(warm);
-            sys.start_measure();
-            sys.run_instrs(meas);
-            let base = baseline_cycles(&b, cfg.core, cfg.seed, warm, meas);
-            sys.finish(b.name, base).slowdown()
-        };
+    for workload in MULTI_SHOT_POINTS {
+        let (single, multi) = (slow(), slow());
         t.row([
             workload.to_string(),
             format!("{single:.2}"),

@@ -1,43 +1,50 @@
 //! Calibration diagnostic: per monitor × benchmark, print the raw
 //! quantities the paper's figures depend on, plus the accelerator's
 //! stall breakdown. Not a paper figure itself — a tuning aid.
+//!
+//! The whole monitor × benchmark × {FADE, unaccelerated} grid is one
+//! `ExperimentMatrix`, sharded across workers.
 
-use fade_bench::{measure_len, warmup_len, Table};
+use fade_bench::{experiments::suite_for, Experiment, ExperimentMatrix, Table};
 use fade_monitors::all_monitors;
-use fade_system::{run_experiment, SystemConfig};
-use fade_trace::bench;
+use fade_system::SystemConfig;
 
 fn main() {
-    let warm = warmup_len();
-    let meas = measure_len();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let only_monitor = args.first().cloned();
+    let selected = |name: &str| match &only_monitor {
+        Some(m) => name.eq_ignore_ascii_case(m),
+        None => true,
+    };
+
+    let mut matrix = ExperimentMatrix::new();
+    for mon in all_monitors() {
+        if !selected(mon.name()) {
+            continue;
+        }
+        for b in suite_for(mon.name()) {
+            matrix.push(Experiment::new(b.clone(), mon.name(), SystemConfig::fade_single_core()));
+            matrix.push(Experiment::new(
+                b,
+                mon.name(),
+                SystemConfig::unaccelerated_single_core(),
+            ));
+        }
+    }
+    let mut runs = matrix.run_stats().into_iter();
 
     for mon in all_monitors() {
-        if let Some(m) = &only_monitor {
-            if !mon.name().eq_ignore_ascii_case(m) {
-                continue;
-            }
+        if !selected(mon.name()) {
+            continue;
         }
-        let suite = match mon.name() {
-            "AtomCheck" => bench::parallel_suite(),
-            "TaintCheck" => bench::taint_suite(),
-            _ => bench::spec_int_suite(),
-        };
         println!("== {} ==", mon.name());
         let mut t = Table::new([
             "bench", "appIPC", "monIPC", "filt%", "sw-slow", "fade-slow", "ufq%", "drain%",
             "suu%", "md%", "tlb%", "appblk%", "occ",
         ]);
-        for b in &suite {
-            let f = run_experiment(b, mon.name(), &SystemConfig::fade_single_core(), warm, meas);
-            let u = run_experiment(
-                b,
-                mon.name(),
-                &SystemConfig::unaccelerated_single_core(),
-                warm,
-                meas,
-            );
+        for b in suite_for(mon.name()) {
+            let f = runs.next().expect("one FADE run per bench");
+            let u = runs.next().expect("one unaccelerated run per bench");
             let fs = f.fade.unwrap();
             let cyc = f.cycles.max(1) as f64;
             t.row([

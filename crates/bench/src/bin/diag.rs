@@ -1,8 +1,11 @@
 //! Calibration diagnostic: sample the register-metadata population and
 //! report breakdowns per monitor. Not a paper figure — a tuning aid.
+//!
+//! Demonstrates the incremental `Session` driving style: step the
+//! run, inspect live state, repeat.
 
 use fade_isa::Reg;
-use fade_system::{MonitoringSystem, SystemConfig};
+use fade_system::{Session, SystemConfig};
 use fade_trace::bench;
 
 fn main() {
@@ -10,13 +13,21 @@ fn main() {
     let mon = args.first().map(String::as_str).unwrap_or("MemCheck");
     let bname = args.get(1).map(String::as_str).unwrap_or("gcc");
     let b = bench::by_name(bname).unwrap();
-    let mut sys = MonitoringSystem::new(&b, mon, &SystemConfig::fade_single_core());
+    let mut session = Session::builder()
+        .monitor(mon)
+        .source(b)
+        .config(SystemConfig::fade_single_core())
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
     let mut dirty_regs = 0u64;
     let mut samples = 0u64;
     for _ in 0..200 {
-        sys.run_instrs(1000);
+        session.run(1000);
         for r in Reg::all() {
-            let v = sys.state().reg_meta(r);
+            let v = session.state().reg_meta(r);
             let clean = match mon {
                 "MemCheck" => v == 3,
                 _ => v == 0,
@@ -31,7 +42,7 @@ fn main() {
         "{mon}/{bname}: dirty register fraction = {:.3}",
         dirty_regs as f64 / samples as f64
     );
-    for r in sys.monitor().reports().iter().take(10) {
+    for r in session.monitor().reports().iter().take(10) {
         println!("{r}");
     }
 }

@@ -1,9 +1,16 @@
 //! Runs every experiment of the paper's evaluation section in order,
 //! printing paper-style tables, then measures filtering, full-system
-//! and trace-codec throughput and dumps all three to
+//! and trace-codec throughput and dumps everything to
 //! `BENCH_pipeline.json` (the machine-readable seed of the repo's
 //! performance trajectory). Scale the window with FADE_MEASURE /
 //! FADE_WARMUP (instructions).
+//!
+//! Every experiment section runs as a sharded `ExperimentMatrix`
+//! across `--workers N` threads (default: all cores; also
+//! `FADE_WORKERS`); the JSON's `matrix_results` rows record each
+//! section's worker count, sharded wall-clock, and serial-equivalent
+//! time (the sum of per-run wall clocks — what one worker would have
+//! paid), so the sharding win lands in the perf trajectory.
 //!
 //! `--mode batched` (or `FADE_MODE=batched`) runs every experiment
 //! through the batched system engine: several times faster, bit-exact
@@ -20,6 +27,7 @@
 use std::path::{Path, PathBuf};
 
 use fade_bench::experiments as ex;
+use fade_bench::{drain_timings, MatrixTiming};
 use fade_system::{
     measure_system_throughput_records, measure_throughput_matrix, measure_trace_codec_records,
     record_trace_prefix, SystemConfig,
@@ -231,16 +239,50 @@ fn trace_json(prefixes: &[PointPrefix]) -> String {
 
 type Section = (&'static str, fn() -> String);
 
+/// One JSON row per `.timed(...)` matrix a section ran: the sharding
+/// evidence (schema v4).
+fn matrix_json(rows: &[(String, MatrixTiming)]) -> String {
+    rows.iter()
+        .map(|(section, t)| {
+            format!(
+                concat!(
+                    "    {{\"section\": \"{}\", \"matrix\": \"{}\", \"experiments\": {}, ",
+                    "\"workers\": {}, \"wall_s\": {:.3}, \"serial_s\": {:.3}, ",
+                    "\"speedup\": {:.3}}}"
+                ),
+                section,
+                t.label,
+                t.experiments,
+                t.workers,
+                t.wall_s,
+                t.serial_s,
+                t.speedup(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
 fn main() {
     // `--mode batched|cycle` selects the execution engine for every
-    // experiment; the env var is how `experiments::run` (and any figure
-    // binary run standalone) picks it up.
+    // experiment; the env var is how the experiment declarations (and
+    // any figure binary run standalone) pick it up.
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--mode") {
         match args.get(i + 1).map(String::as_str) {
             Some(m @ ("batched" | "cycle")) => std::env::set_var("FADE_MODE", m),
             other => {
                 eprintln!("--mode expects 'batched' or 'cycle', got {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // `--workers N` shards every experiment matrix over N threads.
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => std::env::set_var("FADE_WORKERS", n.to_string()),
+            _ => {
+                eprintln!("--workers expects a positive integer");
                 std::process::exit(2);
             }
         }
@@ -258,8 +300,9 @@ fn main() {
     let record_dir = dir_flag("--record-dir");
     let replay_dir = dir_flag("--replay-dir");
     println!(
-        "execution mode: {:?} (override with --mode batched|cycle)",
-        fade_bench::exec_mode()
+        "execution mode: {:?}, {} workers (override with --mode batched|cycle, --workers N)",
+        fade_bench::exec_mode(),
+        fade_bench::default_workers(),
     );
     let sections: [Section; 8] = [
         ("Figure 2", ex::fig2),
@@ -271,11 +314,25 @@ fn main() {
         ("Figure 11", ex::fig11),
         ("Section 7.6", ex::power),
     ];
+    let mut matrix_rows: Vec<(String, MatrixTiming)> = Vec::new();
+    drain_timings();
     for (name, f) in sections {
         println!("================================================================");
         println!("{name}");
         println!("================================================================");
         println!("{}", f());
+        for t in drain_timings() {
+            println!(
+                "  [matrix {}: {} experiments on {} workers, {:.2}s sharded vs {:.2}s serial = {:.2}x]",
+                t.label,
+                t.experiments,
+                t.workers,
+                t.wall_s,
+                t.serial_s,
+                t.speedup(),
+            );
+            matrix_rows.push((name.to_string(), t));
+        }
     }
     println!("================================================================");
     println!("Pipeline throughput (batched vs. per-event)");
@@ -298,8 +355,9 @@ fn main() {
     println!("System throughput (batched engine vs. cycle engine)");
     println!("================================================================");
     let system_rows = system_json(replay_dir.as_deref(), prefixes);
+    let matrix_rows = matrix_json(&matrix_rows);
     let json = format!(
-        "{{\n  \"schema\": \"fade-pipeline-throughput/v3\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"trace_results\": [\n{trace_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"fade-pipeline-throughput/v4\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"trace_results\": [\n{trace_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ],\n  \"matrix_results\": [\n{matrix_rows}\n  ]\n}}\n",
     );
     let path = "BENCH_pipeline.json";
     match std::fs::write(path, &json) {

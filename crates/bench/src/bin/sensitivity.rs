@@ -4,30 +4,60 @@
 //! best cost-performance ratio", Section 6). Sweeps the MD cache
 //! capacity, M-TLB reach, FSQ depth, and the two decoupling queues, and
 //! prints slowdown plus the area cost of each cache point.
+//!
+//! Every sweep point is declared up front and the whole grid runs
+//! through the sharded `ExperimentMatrix` driver.
 
-use fade_bench::{measure_len, warmup_len, Table};
+use fade_bench::{Experiment, ExperimentMatrix, Table};
 use fade_sim::QueueDepth;
-use fade_system::{run_experiment, SystemConfig};
+use fade_system::SystemConfig;
 use fade_trace::bench;
 
-fn slow(cfg: &SystemConfig, monitor: &str, workload: &str) -> f64 {
-    let b = bench::by_name(workload).unwrap();
-    run_experiment(&b, monitor, cfg, warmup_len(), measure_len()).slowdown()
-}
+const MONITOR: &str = "MemLeak";
+const WORKLOAD: &str = "gcc";
+
+const MD_CACHE_KB: [u32; 5] = [1, 2, 4, 8, 16];
+const TLB_ENTRIES: [usize; 5] = [4, 8, 16, 32, 64];
+const FSQ_ENTRIES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+const EVENT_QUEUE: [usize; 6] = [8, 16, 32, 64, 128, 1024];
+const UNFILTERED_QUEUE: [usize; 6] = [2, 4, 8, 16, 32, 64];
 
 fn main() {
-    let monitor = "MemLeak";
-    let workload = "gcc";
-    println!("Sensitivity sweeps ({monitor} on {workload}, single-core 4-way OoO FADE)\n");
+    let b = bench::by_name(WORKLOAD).unwrap();
+    let pt = |cfg: SystemConfig| Experiment::new(b.clone(), MONITOR, cfg);
+
+    let mut matrix = ExperimentMatrix::new();
+    for kb in MD_CACHE_KB {
+        matrix.push(pt(SystemConfig::fade_single_core().with_md_cache_bytes(kb * 1024)));
+    }
+    for n in TLB_ENTRIES {
+        matrix.push(pt(SystemConfig::fade_single_core().with_tlb_entries(n)));
+    }
+    for n in FSQ_ENTRIES {
+        matrix.push(pt(SystemConfig::fade_single_core().with_fsq_entries(n)));
+    }
+    for n in EVENT_QUEUE {
+        matrix.push(pt(
+            SystemConfig::fade_single_core().with_event_queue(QueueDepth::Bounded(n))
+        ));
+    }
+    for n in UNFILTERED_QUEUE {
+        let mut cfg = SystemConfig::fade_single_core();
+        cfg.unfiltered_queue = QueueDepth::Bounded(n);
+        matrix.push(pt(cfg));
+    }
+    let mut runs = matrix.run_stats().into_iter();
+    let mut slow = || -> f64 { runs.next().expect("one result per sweep point").slowdown() };
+
+    println!("Sensitivity sweeps ({MONITOR} on {WORKLOAD}, single-core 4-way OoO FADE)\n");
 
     println!("MD cache capacity (2-way, 64B lines; paper design point: 4KB)");
     let mut t = Table::new(["capacity", "slowdown", "cache area (mm^2)"]);
-    for kb in [1u32, 2, 4, 8, 16] {
-        let cfg = SystemConfig::fade_single_core().with_md_cache_bytes(kb * 1024);
+    for kb in MD_CACHE_KB {
         let est = fade_power::cache_model((kb * 1024) as u64, 2, 64, 2.0);
         t.row([
             format!("{kb} KB"),
-            format!("{:.2}", slow(&cfg, monitor, workload)),
+            format!("{:.2}", slow()),
             format!("{:.4}", est.area_mm2),
         ]);
     }
@@ -35,34 +65,29 @@ fn main() {
 
     println!("\nM-TLB entries (paper design point: 16)");
     let mut t = Table::new(["entries", "slowdown"]);
-    for n in [4usize, 8, 16, 32, 64] {
-        let cfg = SystemConfig::fade_single_core().with_tlb_entries(n);
-        t.row([n.to_string(), format!("{:.2}", slow(&cfg, monitor, workload))]);
+    for n in TLB_ENTRIES {
+        t.row([n.to_string(), format!("{:.2}", slow())]);
     }
     t.print();
 
     println!("\nFSQ entries (non-blocking filtering; paper design point: 16)");
     let mut t = Table::new(["entries", "slowdown"]);
-    for n in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = SystemConfig::fade_single_core().with_fsq_entries(n);
-        t.row([n.to_string(), format!("{:.2}", slow(&cfg, monitor, workload))]);
+    for n in FSQ_ENTRIES {
+        t.row([n.to_string(), format!("{:.2}", slow())]);
     }
     t.print();
 
     println!("\nEvent queue depth (paper design point: 32)");
     let mut t = Table::new(["entries", "slowdown"]);
-    for n in [8usize, 16, 32, 64, 128, 1024] {
-        let cfg = SystemConfig::fade_single_core().with_event_queue(QueueDepth::Bounded(n));
-        t.row([n.to_string(), format!("{:.2}", slow(&cfg, monitor, workload))]);
+    for n in EVENT_QUEUE {
+        t.row([n.to_string(), format!("{:.2}", slow())]);
     }
     t.print();
 
     println!("\nUnfiltered queue depth (paper design point: 16)");
     let mut t = Table::new(["entries", "slowdown"]);
-    for n in [2usize, 4, 8, 16, 32, 64] {
-        let mut cfg = SystemConfig::fade_single_core();
-        cfg.unfiltered_queue = QueueDepth::Bounded(n);
-        t.row([n.to_string(), format!("{:.2}", slow(&cfg, monitor, workload))]);
+    for n in UNFILTERED_QUEUE {
+        t.row([n.to_string(), format!("{:.2}", slow())]);
     }
     t.print();
 }

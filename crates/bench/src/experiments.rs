@@ -1,19 +1,26 @@
 //! The paper's experiments, one function per table/figure.
 //!
-//! Each function runs the relevant simulations and returns the rendered
-//! text table(s), with the paper's reference values in the last
-//! column(s) so paper-vs-measured comparison is immediate. The
+//! Each function *declares* its grid of simulation points as
+//! [`Experiment`] data, hands the whole grid to the sharded
+//! [`ExperimentMatrix`] driver (all points of a figure run concurrently
+//! across `FADE_WORKERS` threads), then renders the paper-style text
+//! table(s) from the results — with the paper's reference values in the
+//! last column(s) so paper-vs-measured comparison is immediate. The
 //! `reproduce_all` binary calls every one of these and is the source of
 //! EXPERIMENTS.md.
+//!
+//! Declaration and consumption walk the same loops in the same order,
+//! so adding a point means adding it to both walks — the `Results`
+//! consumer panics if the two ever disagree in length.
 
 use fade::FilterMode;
 use fade_monitors::all_monitors;
 use fade_sim::{gmean, CoreKind, QueueDepth};
-use fade_system::{run_experiment_mode, RunStats, SystemConfig};
+use fade_system::{RunStats, SystemConfig};
 use fade_trace::{bench, BenchProfile};
 
 use crate::table::Table;
-use crate::{exec_mode, measure_len, warmup_len};
+use crate::{Experiment, ExperimentMatrix};
 
 /// The benchmark suite a monitor is evaluated on (Section 6).
 pub fn suite_for(monitor: &str) -> Vec<BenchProfile> {
@@ -24,20 +31,63 @@ pub fn suite_for(monitor: &str) -> Vec<BenchProfile> {
     }
 }
 
-fn run(b: &BenchProfile, monitor: &str, cfg: &SystemConfig) -> RunStats {
-    run_experiment_mode(b, monitor, cfg, warmup_len(), measure_len(), exec_mode())
+/// One grid point with the harness-default window and engine.
+fn point(b: &BenchProfile, monitor: &str, cfg: &SystemConfig) -> Experiment {
+    Experiment::new(b.clone(), monitor, *cfg)
+}
+
+/// Results of a section's matrix, consumed in declaration order.
+struct Results(std::vec::IntoIter<RunStats>);
+
+impl Results {
+    fn next(&mut self) -> RunStats {
+        self.0
+            .next()
+            .expect("consumption must walk the same points as declaration")
+    }
+}
+
+impl Drop for Results {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            assert!(
+                self.0.next().is_none(),
+                "declared experiments were left unconsumed"
+            );
+        }
+    }
+}
+
+/// Runs a section's declared points through the sharded driver.
+fn run_section(section: &str, points: Vec<Experiment>) -> Results {
+    let mut m = ExperimentMatrix::new().timed(section);
+    m.extend(points);
+    Results(m.run_stats().into_iter())
 }
 
 /// Figure 2: application IPC split into monitored and unmonitored.
 pub fn fig2() -> String {
+    let mut points = Vec::new();
+    for mon in all_monitors() {
+        for b in suite_for(mon.name()) {
+            points.push(point(&b, mon.name(), &SystemConfig::fade_single_core()));
+        }
+    }
+    for monitor in ["AddrCheck", "MemLeak"] {
+        for b in suite_for(monitor) {
+            points.push(point(&b, monitor, &SystemConfig::fade_single_core()));
+        }
+    }
+    let mut runs = run_section("fig2", points);
+
     let mut out = String::new();
     out.push_str("Figure 2(a): app IPC split, averaged per monitor (4-way OoO)\n");
     let mut t = Table::new(["monitor", "app IPC", "monitored IPC", "unmonitored IPC"]);
     for mon in all_monitors() {
         let mut app = Vec::new();
         let mut monit = Vec::new();
-        for b in suite_for(mon.name()) {
-            let s = run(&b, mon.name(), &SystemConfig::fade_single_core());
+        for _ in suite_for(mon.name()) {
+            let s = runs.next();
             app.push(s.app_ipc());
             monit.push(s.monitored_ipc());
         }
@@ -59,7 +109,7 @@ pub fn fig2() -> String {
         out.push('\n');
         let mut t = Table::new(["bench", "app IPC", "monitored IPC"]);
         for b in suite_for(monitor) {
-            let s = run(&b, monitor, &SystemConfig::fade_single_core());
+            let s = runs.next();
             t.row([
                 b.name.to_string(),
                 format!("{:.2}", s.app_ipc()),
@@ -74,6 +124,23 @@ pub fn fig2() -> String {
 /// Figure 3: event-queue occupancy (infinite queue) and the effect of
 /// queue size on MemLeak's slowdown.
 pub fn fig3() -> String {
+    let ideal = |depth: QueueDepth| {
+        SystemConfig::fade_single_core()
+            .with_event_queue(depth)
+            .with_ideal_consumer()
+    };
+    let mut points = Vec::new();
+    for monitor in ["AddrCheck", "MemLeak"] {
+        for b in suite_for(monitor) {
+            points.push(point(&b, monitor, &ideal(QueueDepth::Unbounded)));
+        }
+    }
+    for b in suite_for("MemLeak") {
+        points.push(point(&b, "MemLeak", &ideal(QueueDepth::Bounded(32 * 1024))));
+        points.push(point(&b, "MemLeak", &ideal(QueueDepth::Bounded(32))));
+    }
+    let mut runs = run_section("fig3", points);
+
     let mut out = String::new();
     for (title, monitor) in [
         ("Figure 3(a): infinite event-queue occupancy CDF, AddrCheck", "AddrCheck"),
@@ -83,10 +150,7 @@ pub fn fig3() -> String {
         out.push('\n');
         let mut t = Table::new(["bench", "p50", "p90", "p99", "p99.9", "max-bucket"]);
         for b in suite_for(monitor) {
-            let cfg = SystemConfig::fade_single_core()
-                .with_event_queue(QueueDepth::Unbounded)
-                .with_ideal_consumer();
-            let s = run(&b, monitor, &cfg);
+            let s = runs.next();
             t.row([
                 b.name.to_string(),
                 s.occupancy.percentile(50.0).to_string(),
@@ -103,20 +167,8 @@ pub fn fig3() -> String {
     let mut big_all = Vec::new();
     let mut small_all = Vec::new();
     for b in suite_for("MemLeak") {
-        let big = run(
-            &b,
-            "MemLeak",
-            &SystemConfig::fade_single_core()
-                .with_event_queue(QueueDepth::Bounded(32 * 1024))
-                .with_ideal_consumer(),
-        );
-        let small = run(
-            &b,
-            "MemLeak",
-            &SystemConfig::fade_single_core()
-                .with_event_queue(QueueDepth::Bounded(32))
-                .with_ideal_consumer(),
-        );
+        let big = runs.next();
+        let small = runs.next();
         big_all.push(big.slowdown());
         small_all.push(small.slowdown());
         t.row([
@@ -137,13 +189,29 @@ pub fn fig3() -> String {
 /// Figure 4: monitor time breakdown, unfiltered-event distances, burst
 /// sizes.
 pub fn fig4() -> String {
+    let mut points = Vec::new();
+    for mon in all_monitors() {
+        for b in suite_for(mon.name()) {
+            points.push(point(&b, mon.name(), &SystemConfig::unaccelerated_single_core()));
+        }
+    }
+    for b in suite_for("MemLeak") {
+        points.push(point(&b, "MemLeak", &SystemConfig::fade_single_core()));
+    }
+    for mon in all_monitors() {
+        for b in suite_for(mon.name()) {
+            points.push(point(&b, mon.name(), &SystemConfig::fade_single_core()));
+        }
+    }
+    let mut runs = run_section("fig4", points);
+
     let mut out = String::new();
     out.push_str("Figure 4(a): software monitor time breakdown (% of handler instructions)\n");
     let mut t = Table::new(["monitor", "CC%", "RU%", "complex%", "stack%", "high-level%"]);
     for mon in all_monitors() {
         let mut acc = fade_system::ClassInstrs::default();
-        for b in suite_for(mon.name()) {
-            let s = run(&b, mon.name(), &SystemConfig::unaccelerated_single_core());
+        for _ in suite_for(mon.name()) {
+            let s = runs.next();
             acc.cc += s.class_instrs.cc;
             acc.ru += s.class_instrs.ru;
             acc.partial += s.class_instrs.partial;
@@ -165,7 +233,7 @@ pub fn fig4() -> String {
     out.push_str("\nFigure 4(b): distance between unfiltered events, MemLeak (CDF)\n");
     let mut t = Table::new(["bench", "%<=2", "%<=8", "%<=16", "%<=64", "mean"]);
     for b in suite_for("MemLeak") {
-        let s = run(&b, "MemLeak", &SystemConfig::fade_single_core());
+        let s = runs.next();
         let cdf = s.unfiltered_distances.cdf();
         t.row([
             b.name.to_string(),
@@ -183,7 +251,7 @@ pub fn fig4() -> String {
     for mon in all_monitors() {
         let mut cells = Vec::new();
         for b in suite_for(mon.name()) {
-            let s = run(&b, mon.name(), &SystemConfig::fade_single_core());
+            let s = runs.next();
             cells.push(format!("{}={:.0}", b.name, s.burst_sizes.mean()));
         }
         t.row([mon.name().to_string(), cells.join(" ")]);
@@ -194,9 +262,6 @@ pub fn fig4() -> String {
 
 /// Table 2: filtering efficiency per monitor.
 pub fn table2() -> String {
-    let mut out = String::new();
-    out.push_str("Table 2: FADE filtering efficiency\n");
-    let mut t = Table::new(["monitor", "measured", "paper"]);
     let paper = [
         ("AddrCheck", 99.5),
         ("AtomCheck", 85.5),
@@ -204,11 +269,21 @@ pub fn table2() -> String {
         ("MemLeak", 87.0),
         ("TaintCheck", 84.0),
     ];
+    let mut points = Vec::new();
+    for (name, _) in paper {
+        for b in suite_for(name) {
+            points.push(point(&b, name, &SystemConfig::fade_single_core()));
+        }
+    }
+    let mut runs = run_section("table2", points);
+
+    let mut out = String::new();
+    out.push_str("Table 2: FADE filtering efficiency\n");
+    let mut t = Table::new(["monitor", "measured", "paper"]);
     for (name, paper_val) in paper {
         let mut ratios = Vec::new();
-        for b in suite_for(name) {
-            let s = run(&b, name, &SystemConfig::fade_single_core());
-            ratios.push(100.0 * s.filtering_ratio());
+        for _ in suite_for(name) {
+            ratios.push(100.0 * runs.next().filtering_ratio());
         }
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
         t.row([
@@ -225,6 +300,21 @@ pub fn table2() -> String {
 /// AddrCheck, MemLeak and AtomCheck (plus the per-monitor averages the
 /// text quotes for MemCheck and TaintCheck).
 pub fn fig9() -> String {
+    let mut points = Vec::new();
+    for monitor in ["AddrCheck", "MemLeak", "AtomCheck"] {
+        for b in suite_for(monitor) {
+            points.push(point(&b, monitor, &SystemConfig::unaccelerated_single_core()));
+            points.push(point(&b, monitor, &SystemConfig::fade_single_core()));
+        }
+    }
+    for mon in all_monitors() {
+        for b in suite_for(mon.name()) {
+            points.push(point(&b, mon.name(), &SystemConfig::unaccelerated_single_core()));
+            points.push(point(&b, mon.name(), &SystemConfig::fade_single_core()));
+        }
+    }
+    let mut runs = run_section("fig9", points);
+
     let mut out = String::new();
     for (fig, monitor) in [
         ("Figure 9(a): AddrCheck", "AddrCheck"),
@@ -237,8 +327,8 @@ pub fn fig9() -> String {
         let mut un = Vec::new();
         let mut fa = Vec::new();
         for b in suite_for(monitor) {
-            let u = run(&b, monitor, &SystemConfig::unaccelerated_single_core());
-            let f = run(&b, monitor, &SystemConfig::fade_single_core());
+            let u = runs.next();
+            let f = runs.next();
             un.push(u.slowdown());
             fa.push(f.slowdown());
             t.row([
@@ -262,9 +352,9 @@ pub fn fig9() -> String {
     for mon in all_monitors() {
         let mut un = Vec::new();
         let mut fa = Vec::new();
-        for b in suite_for(mon.name()) {
-            un.push(run(&b, mon.name(), &SystemConfig::unaccelerated_single_core()).slowdown());
-            fa.push(run(&b, mon.name(), &SystemConfig::fade_single_core()).slowdown());
+        for _ in suite_for(mon.name()) {
+            un.push(runs.next().slowdown());
+            fa.push(runs.next().slowdown());
         }
         let (u, f) = (
             un.iter().sum::<f64>() / un.len() as f64,
@@ -285,6 +375,25 @@ pub fn fig9() -> String {
 
 /// Figure 10: sensitivity to the core microarchitecture.
 pub fn fig10() -> String {
+    let cfg_for = |accel: bool, core: CoreKind| {
+        if accel {
+            SystemConfig::fade_single_core().with_core(core)
+        } else {
+            SystemConfig::unaccelerated_single_core().with_core(core)
+        }
+    };
+    let mut points = Vec::new();
+    for mon in all_monitors() {
+        for accel in [false, true] {
+            for core in [CoreKind::AggrOoO4, CoreKind::LeanOoO2, CoreKind::InOrder1] {
+                for b in suite_for(mon.name()) {
+                    points.push(point(&b, mon.name(), &cfg_for(accel, core)));
+                }
+            }
+        }
+    }
+    let mut runs = run_section("fig10", points);
+
     let mut out = String::new();
     out.push_str("Figure 10: slowdown per monitor and core type (single-core system)\n");
     let mut t = Table::new([
@@ -298,16 +407,11 @@ pub fn fig10() -> String {
     ]);
     for mon in all_monitors() {
         let mut cells = vec![mon.name().to_string()];
-        for accel in [false, true] {
-            for core in [CoreKind::AggrOoO4, CoreKind::LeanOoO2, CoreKind::InOrder1] {
-                let cfg = if accel {
-                    SystemConfig::fade_single_core().with_core(core)
-                } else {
-                    SystemConfig::unaccelerated_single_core().with_core(core)
-                };
+        for _accel in [false, true] {
+            for _core in [CoreKind::AggrOoO4, CoreKind::LeanOoO2, CoreKind::InOrder1] {
                 let mut sl = Vec::new();
-                for b in suite_for(mon.name()) {
-                    sl.push(run(&b, mon.name(), &cfg).slowdown());
+                for _ in suite_for(mon.name()) {
+                    sl.push(runs.next().slowdown());
                 }
                 cells.push(format!("{:.2}", sl.iter().sum::<f64>() / sl.len() as f64));
             }
@@ -321,15 +425,39 @@ pub fn fig10() -> String {
 /// Figure 11: single vs two-core FADE, two-core utilization, and
 /// blocking vs non-blocking filtering.
 pub fn fig11() -> String {
+    let mut points = Vec::new();
+    for mon in all_monitors() {
+        for b in suite_for(mon.name()) {
+            points.push(point(&b, mon.name(), &SystemConfig::fade_single_core()));
+            points.push(point(&b, mon.name(), &SystemConfig::fade_two_core()));
+        }
+    }
+    for mon in all_monitors() {
+        for b in suite_for(mon.name()) {
+            points.push(point(&b, mon.name(), &SystemConfig::fade_two_core()));
+        }
+    }
+    for mon in all_monitors() {
+        for b in suite_for(mon.name()) {
+            points.push(point(
+                &b,
+                mon.name(),
+                &SystemConfig::fade_single_core().with_mode(FilterMode::Blocking),
+            ));
+            points.push(point(&b, mon.name(), &SystemConfig::fade_single_core()));
+        }
+    }
+    let mut runs = run_section("fig11", points);
+
     let mut out = String::new();
     out.push_str("Figure 11(a): single-core vs two-core FADE (average slowdown)\n");
     let mut t = Table::new(["monitor", "single-core", "two-core", "two-core gain"]);
     for mon in all_monitors() {
         let mut one = Vec::new();
         let mut two = Vec::new();
-        for b in suite_for(mon.name()) {
-            one.push(run(&b, mon.name(), &SystemConfig::fade_single_core()).slowdown());
-            two.push(run(&b, mon.name(), &SystemConfig::fade_two_core()).slowdown());
+        for _ in suite_for(mon.name()) {
+            one.push(runs.next().slowdown());
+            two.push(runs.next().slowdown());
         }
         let (o, w) = (
             one.iter().sum::<f64>() / one.len() as f64,
@@ -349,8 +477,8 @@ pub fn fig11() -> String {
     for mon in all_monitors() {
         let mut acc = (0.0, 0.0, 0.0);
         let mut n = 0.0;
-        for b in suite_for(mon.name()) {
-            let s = run(&b, mon.name(), &SystemConfig::fade_two_core());
+        for _ in suite_for(mon.name()) {
+            let s = runs.next();
             let (a, m, both) = s.util.percentages();
             acc = (acc.0 + a, acc.1 + m, acc.2 + both);
             n += 1.0;
@@ -369,16 +497,9 @@ pub fn fig11() -> String {
     for mon in all_monitors() {
         let mut blk = Vec::new();
         let mut nb = Vec::new();
-        for b in suite_for(mon.name()) {
-            blk.push(
-                run(
-                    &b,
-                    mon.name(),
-                    &SystemConfig::fade_single_core().with_mode(FilterMode::Blocking),
-                )
-                .slowdown(),
-            );
-            nb.push(run(&b, mon.name(), &SystemConfig::fade_single_core()).slowdown());
+        for _ in suite_for(mon.name()) {
+            blk.push(runs.next().slowdown());
+            nb.push(runs.next().slowdown());
         }
         let (bk, n) = (
             blk.iter().sum::<f64>() / blk.len() as f64,

@@ -4,10 +4,18 @@
 //! `cargo run -p fade-bench --release --bin <figN|table2|power>`),
 //! criterion microbenchmarks (`cargo bench`), and shared table-printing
 //! helpers.
+//!
+//! Experiments are declared as data ([`Experiment`]) and executed by
+//! the sharded [`ExperimentMatrix`] driver — every paper figure is one
+//! matrix, run across `FADE_WORKERS` threads (default: all cores).
 
 pub mod experiments;
+pub mod matrix;
 pub mod table;
 
+pub use matrix::{
+    default_workers, drain_timings, Experiment, ExperimentMatrix, MatrixResult, MatrixTiming,
+};
 pub use table::Table;
 
 /// Default warmup instructions per measurement.
@@ -44,10 +52,10 @@ pub fn warmup_len() -> u64 {
 /// Panics on an unrecognized `FADE_MODE` value — silently falling back
 /// to the (much slower, exactly-timed) cycle engine on a typo would be
 /// worse.
-pub fn exec_mode() -> fade_system::ExecMode {
+pub fn exec_mode() -> fade_system::Engine {
     match std::env::var("FADE_MODE").as_deref() {
-        Ok("batched") => fade_system::ExecMode::Batched,
-        Ok("cycle") | Ok("") | Err(_) => fade_system::ExecMode::Cycle,
+        Ok("batched") => fade_system::Engine::batched(),
+        Ok("cycle") | Ok("") | Err(_) => fade_system::Engine::Cycle,
         Ok(other) => panic!("FADE_MODE must be 'batched' or 'cycle', got {other:?}"),
     }
 }

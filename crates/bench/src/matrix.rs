@@ -1,0 +1,384 @@
+//! The declarative experiment driver: an experiment is *data*
+//! (monitor × benchmark × config × engine), and a matrix of them is
+//! executed sharded across worker threads.
+//!
+//! The paper's evaluation is an embarrassingly parallel grid — every
+//! (monitor, benchmark, configuration) point is an independent,
+//! deterministic simulation — so the driver needs no synchronization
+//! beyond a work-stealing index: each worker claims the next undone
+//! experiment, builds a [`Session`] for it, and runs it to a
+//! [`RunReport`]. Results come back in declaration order regardless of
+//! which worker ran what, and are bit-identical for any worker count
+//! (each run's RNG seeds derive from its own [`SystemConfig::seed`],
+//! never from shard placement — `tests/matrix.rs` pins both
+//! properties).
+//!
+//! # Example
+//!
+//! ```
+//! use fade_bench::{Experiment, ExperimentMatrix};
+//! use fade_system::SystemConfig;
+//! use fade_trace::bench;
+//!
+//! let mut matrix = ExperimentMatrix::new();
+//! for b in bench::spec_int_suite().into_iter().take(2) {
+//!     matrix.push(
+//!         Experiment::new(b, "AddrCheck", SystemConfig::fade_single_core())
+//!             .window(2_000, 8_000),
+//!     );
+//! }
+//! let result = matrix.run();
+//! assert_eq!(result.reports.len(), 2);
+//! // (the cycle engine may overshoot by up to a commit width)
+//! assert!(result.reports.iter().all(|r| r.stats.app_instrs >= 8_000));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use fade::FadeProgram;
+use fade_system::{Engine, MonitorRegistry, RunReport, Session, SystemConfig};
+use fade_trace::BenchProfile;
+
+use crate::{exec_mode, measure_len, warmup_len};
+
+/// One point of an experiment grid, as plain data.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Display label (diagnostics and timing logs).
+    pub label: String,
+    /// The workload.
+    pub bench: BenchProfile,
+    /// The monitor, by registry name.
+    pub monitor: String,
+    /// The hardware configuration.
+    pub config: SystemConfig,
+    /// The execution engine.
+    pub engine: Engine,
+    /// Warmup instructions before the measured window.
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
+    /// Optional caller-built FADE program (ablations).
+    pub program: Option<FadeProgram>,
+}
+
+impl Experiment {
+    /// An experiment with the harness defaults: warmup/measure from
+    /// `FADE_WARMUP`/`FADE_MEASURE`, engine from `FADE_MODE`.
+    pub fn new(bench: BenchProfile, monitor: impl Into<String>, config: SystemConfig) -> Self {
+        let monitor = monitor.into();
+        Experiment {
+            label: format!("{}/{}/{}", bench.name, monitor, config.label()),
+            bench,
+            monitor,
+            config,
+            engine: exec_mode(),
+            warmup: warmup_len(),
+            measure: measure_len(),
+            program: None,
+        }
+    }
+
+    /// Replaces the warmup/measure window.
+    pub fn window(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    /// Replaces the execution engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replaces the display label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Loads a caller-built FADE program instead of the monitor's own
+    /// (ablations: SUU removal, alternative encodings).
+    pub fn program(mut self, program: FadeProgram) -> Self {
+        self.program = Some(program);
+        self
+    }
+
+    /// Builds and runs this experiment's session on the current thread.
+    fn run(&self, registry: &Arc<MonitorRegistry>) -> RunReport {
+        let mut builder = Session::builder()
+            .registry(Arc::clone(registry))
+            .monitor(self.monitor.as_str())
+            .source(self.bench.clone())
+            .engine(self.engine)
+            .config(self.config);
+        if let Some(p) = &self.program {
+            builder = builder.program(p.clone());
+        }
+        builder
+            .build()
+            .unwrap_or_else(|e| panic!("experiment {}: {e}", self.label))
+            .run_measured(self.warmup, self.measure)
+    }
+}
+
+/// Worker count for a matrix: `FADE_WORKERS` if set, else the machine's
+/// available parallelism.
+pub fn default_workers() -> usize {
+    std::env::var("FADE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// A batch of experiments executed across worker threads.
+pub struct ExperimentMatrix {
+    experiments: Vec<Experiment>,
+    workers: usize,
+    registry: Arc<MonitorRegistry>,
+    timing_label: Option<String>,
+}
+
+impl ExperimentMatrix {
+    /// An empty matrix with [`default_workers`] and the builtin monitor
+    /// registry.
+    pub fn new() -> Self {
+        ExperimentMatrix {
+            experiments: Vec::new(),
+            workers: default_workers(),
+            registry: Arc::new(MonitorRegistry::builtin()),
+            timing_label: None,
+        }
+    }
+
+    /// Replaces the worker count (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Resolves monitor names in this registry (out-of-tree monitors in
+    /// a matrix).
+    pub fn registry(mut self, registry: Arc<MonitorRegistry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Records this run's timing under `label` in the process-wide
+    /// timing log (drained by `reproduce_all` for the performance
+    /// trajectory).
+    pub fn timed(mut self, label: impl Into<String>) -> Self {
+        self.timing_label = Some(label.into());
+        self
+    }
+
+    /// Appends one experiment.
+    pub fn push(&mut self, experiment: Experiment) -> &mut Self {
+        self.experiments.push(experiment);
+        self
+    }
+
+    /// Appends many experiments.
+    pub fn extend(&mut self, experiments: impl IntoIterator<Item = Experiment>) -> &mut Self {
+        self.experiments.extend(experiments);
+        self
+    }
+
+    /// Number of experiments queued.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// Runs every experiment, sharded across the matrix's workers, and
+    /// returns the reports **in declaration order** together with the
+    /// wall-clock evidence of the sharding win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any experiment fails to build (unknown monitor,
+    /// invalid program) — an experiment grid with a typo is a harness
+    /// bug, not a recoverable condition — or if a worker panics.
+    pub fn run(self) -> MatrixResult {
+        let n = self.experiments.len();
+        let workers = self.workers.clamp(1, n.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let experiments = &self.experiments;
+        let registry = &self.registry;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let report = experiments[i].run(registry);
+                    *slots[i].lock().expect("no worker panicked holding a slot") = Some(report);
+                });
+            }
+        });
+        let wall_s = start.elapsed().as_secs_f64();
+        let reports: Vec<RunReport> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("no worker panicked holding a slot")
+                    .expect("scope joined every worker, so every slot is filled")
+            })
+            .collect();
+        let serial_s = reports.iter().map(|r| r.wall_s).sum();
+        let result = MatrixResult {
+            reports,
+            workers,
+            wall_s,
+            serial_s,
+        };
+        if let Some(label) = self.timing_label {
+            record_timing(MatrixTiming {
+                label,
+                experiments: n,
+                workers,
+                wall_s: result.wall_s,
+                serial_s: result.serial_s,
+            });
+        }
+        result
+    }
+
+    /// [`ExperimentMatrix::run`], keeping only the [`fade_system::RunStats`] of
+    /// each report (the common case for table-rendering code).
+    pub fn run_stats(self) -> Vec<fade_system::RunStats> {
+        self.run().reports.into_iter().map(|r| r.stats).collect()
+    }
+}
+
+impl Default for ExperimentMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What a matrix run produced: per-experiment reports plus the
+/// wall-clock totals behind the sharding speedup.
+#[derive(Clone, Debug)]
+pub struct MatrixResult {
+    /// One report per experiment, in declaration order.
+    pub reports: Vec<RunReport>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock seconds for the whole (sharded) matrix.
+    pub wall_s: f64,
+    /// Sum of the per-experiment wall clocks — what a single worker
+    /// would have paid running the same grid back to back.
+    pub serial_s: f64,
+}
+
+impl MatrixResult {
+    /// Sharded-over-serial wall-clock speedup (≈1.0 on one worker, up
+    /// to `workers`× on an idle machine).
+    pub fn speedup(&self) -> f64 {
+        self.serial_s / self.wall_s.max(1e-12)
+    }
+}
+
+/// One recorded matrix timing (see [`ExperimentMatrix::timed`]).
+#[derive(Clone, Debug)]
+pub struct MatrixTiming {
+    /// The label the matrix was timed under.
+    pub label: String,
+    /// Experiments in the matrix.
+    pub experiments: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Sharded wall-clock seconds.
+    pub wall_s: f64,
+    /// Serial-equivalent seconds (sum of per-run wall clocks).
+    pub serial_s: f64,
+}
+
+impl MatrixTiming {
+    /// Sharded-over-serial wall-clock speedup.
+    pub fn speedup(&self) -> f64 {
+        self.serial_s / self.wall_s.max(1e-12)
+    }
+}
+
+fn timing_log() -> &'static Mutex<Vec<MatrixTiming>> {
+    static LOG: std::sync::OnceLock<Mutex<Vec<MatrixTiming>>> = std::sync::OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record_timing(t: MatrixTiming) {
+    timing_log().lock().expect("timing log poisoned").push(t);
+}
+
+/// Drains every timing recorded by [`ExperimentMatrix::timed`] matrices
+/// since the last drain — how `reproduce_all` collects per-section
+/// sharding evidence without threading a collector through every
+/// experiment function.
+pub fn drain_timings() -> Vec<MatrixTiming> {
+    std::mem::take(&mut *timing_log().lock().expect("timing log poisoned"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fade_trace::bench;
+
+    fn tiny(bench_name: &str, monitor: &str) -> Experiment {
+        Experiment::new(
+            bench::by_name(bench_name).unwrap(),
+            monitor,
+            SystemConfig::fade_single_core(),
+        )
+        .engine(Engine::Cycle)
+        .window(1_000, 4_000)
+    }
+
+    #[test]
+    fn reports_come_back_in_declaration_order() {
+        let mut m = ExperimentMatrix::new().workers(4);
+        m.push(tiny("mcf", "AddrCheck"));
+        m.push(tiny("gcc", "MemLeak"));
+        m.push(tiny("hmmer", "MemCheck"));
+        let result = m.run();
+        let names: Vec<&str> = result.reports.iter().map(|r| r.stats.benchmark.as_str()).collect();
+        assert_eq!(names, vec!["mcf", "gcc", "hmmer"]);
+        let monitors: Vec<&str> = result.reports.iter().map(|r| r.stats.monitor.as_str()).collect();
+        assert_eq!(monitors, vec!["AddrCheck", "MemLeak", "MemCheck"]);
+        assert!(result.serial_s > 0.0 && result.wall_s > 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_runs() {
+        let result = ExperimentMatrix::new().run();
+        assert!(result.reports.is_empty());
+    }
+
+    #[test]
+    fn timings_are_recorded_and_drained() {
+        drain_timings();
+        let mut m = ExperimentMatrix::new().timed("unit-test");
+        m.push(tiny("mcf", "AddrCheck"));
+        m.run();
+        let timings = drain_timings();
+        assert_eq!(timings.len(), 1);
+        assert_eq!(timings[0].label, "unit-test");
+        assert_eq!(timings[0].experiments, 1);
+        assert!(drain_timings().is_empty(), "drain must empty the log");
+    }
+}

@@ -10,6 +10,21 @@
 
 use std::collections::VecDeque;
 
+/// The FSQ is at capacity; the pipeline must stall until a handler
+/// completion retires an entry. Mirrors the hardware's "full" wire,
+/// but as a nameable type so callers and logs say *which* structure
+/// pushed back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsqFull;
+
+impl std::fmt::Display for FsqFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("filter store queue full")
+    }
+}
+
+impl std::error::Error for FsqFull {}
+
 /// One FSQ entry: an updated metadata value pending software completion.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FsqEntry {
@@ -62,13 +77,11 @@ impl Fsq {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` when the queue is full; the pipeline must stall.
-    /// (A unit error mirrors the hardware's single "full" wire; there is
-    /// nothing else to report.)
-    #[allow(clippy::result_unit_err)]
-    pub fn push(&mut self, md_addr: u64, bytes: u8, value: u64, token: u64) -> Result<(), ()> {
+    /// Returns [`FsqFull`] when the queue is at capacity; the pipeline
+    /// must stall until [`Fsq::retire`] frees an entry.
+    pub fn push(&mut self, md_addr: u64, bytes: u8, value: u64, token: u64) -> Result<(), FsqFull> {
         if self.entries.len() >= self.capacity {
-            return Err(());
+            return Err(FsqFull);
         }
         self.entries.push_back(FsqEntry {
             md_addr,
@@ -157,7 +170,7 @@ mod tests {
         fsq.push(0, 1, 0, 0).unwrap();
         fsq.push(8, 1, 0, 1).unwrap();
         assert!(fsq.is_full());
-        assert!(fsq.push(16, 1, 0, 2).is_err());
+        assert_eq!(fsq.push(16, 1, 0, 2), Err(FsqFull));
         assert_eq!(fsq.max_occupancy(), 2);
     }
 

@@ -69,7 +69,7 @@ pub use event_table::{
     EventTable, EventTableEntry, FilterKind, HandlerPc, OperandRule, OperandSel, RuCompose,
 };
 pub use filter_logic::{FilterDecision, OperandMeta};
-pub use fsq::{Fsq, FsqEntry};
+pub use fsq::{Fsq, FsqEntry, FsqFull};
 pub use invrf::{InvId, InvRf, INV_REGS};
 pub use md_cache::{CacheStats, TagCache, TagCacheConfig};
 pub use md_tlb::MdTlb;

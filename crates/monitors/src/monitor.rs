@@ -77,7 +77,11 @@ impl CostModel {
 /// [`Monitor::apply_instr`] per monitored event; the *FADE* path loads
 /// [`Monitor::program`] into the accelerator and only consults the
 /// software handlers for unfiltered events.
-pub trait Monitor {
+///
+/// Monitors are `Send` so whole monitoring sessions can be sharded
+/// across worker threads (each session owns its monitor exclusively —
+/// no `Sync` needed).
+pub trait Monitor: Send {
     /// Display name (paper spelling, e.g. "MemLeak").
     fn name(&self) -> &'static str;
 

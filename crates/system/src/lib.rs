@@ -16,35 +16,49 @@
 //! dual-threaded or two-core, unaccelerated or FADE-enabled, on any of
 //! the three core microarchitectures of Table 1.
 //!
-//! [`run_experiment`] performs a warmup + measure run (SMARTS-flavoured
-//! sampling) and returns a [`RunStats`] with everything the paper
-//! plots: slowdown, filtering ratio, queue-occupancy CDFs, unfiltered
+//! The crate's one entry point is the [`Session`] builder: pick a
+//! monitor (by name, trait object, or via a pluggable
+//! [`MonitorRegistry`]), a trace source (synthetic workload, in-memory
+//! records, or a recorded `.fadet` file), an execution [`Engine`], and
+//! a [`SystemConfig`]; then [`Session::run_measured`] performs a
+//! warmup-and-measure run (SMARTS-flavoured sampling) and returns a
+//! [`RunReport`] whose [`RunStats`] hold everything the paper plots:
+//! slowdown, filtering ratio, queue-occupancy CDFs, unfiltered
 //! distances and burst sizes, handler-class time breakdowns, and
 //! two-core utilization.
 //!
 //! # Example
 //!
 //! ```
-//! use fade_system::{run_experiment, SystemConfig};
+//! use fade_system::{Session, SystemConfig};
 //! use fade_trace::bench;
 //!
-//! let bench = bench::by_name("mcf").unwrap();
-//! let cfg = SystemConfig::fade_single_core();
-//! let stats = run_experiment(&bench, "AddrCheck", &cfg, 20_000, 50_000);
-//! assert!(stats.slowdown() >= 1.0);
+//! let report = Session::builder()
+//!     .monitor("AddrCheck")
+//!     .source(bench::by_name("mcf").unwrap())
+//!     .config(SystemConfig::fade_single_core())
+//!     .build()
+//!     .unwrap()
+//!     .run_measured(20_000, 50_000);
+//! assert!(report.stats.slowdown() >= 1.0);
 //! ```
 
 pub mod config;
+pub mod registry;
 pub mod run;
+pub mod session;
 pub mod system;
 pub mod throughput;
 
 pub use config::{Accel, FadeTweaks, SystemConfig, Topology};
+pub use registry::{MonitorFactory, MonitorRegistry, UnknownMonitor};
 pub use run::{ClassInstrs, RunStats, SamplingSummary, UtilBreakdown};
-pub use system::{
-    baseline_cycles, run_experiment, run_experiment_mode, ExecMode, MonitoringSystem,
-    ReplayBuffer, TraceSource,
+pub use session::{
+    Engine, MonitorSel, RunReport, Session, SessionBuilder, SessionError, SourceSpec,
 };
+#[allow(deprecated)]
+pub use system::{run_experiment, run_experiment_mode};
+pub use system::{baseline_cycles, ExecMode, MonitoringSystem, ReplayBuffer, TraceSource};
 pub use throughput::{
     measure_system_throughput, measure_system_throughput_records, measure_throughput,
     measure_throughput_matrix, measure_trace_codec, measure_trace_codec_records,

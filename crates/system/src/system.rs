@@ -47,7 +47,11 @@ const BATCH_CHUNK: u64 = 1024;
 /// ([`ReplayBuffer`]), and recorded `.fadet` trace files
 /// ([`fade_trace::TraceReader`]) — so any future real workload is just
 /// "a file we replay" through the same engine.
-pub trait TraceSource {
+///
+/// Sources are `Send` so whole sessions can move to worker threads
+/// (the parallel experiment driver shards an experiment matrix across
+/// cores; each session owns its source exclusively).
+pub trait TraceSource: Send {
     /// Appends up to `n` records to `buf`.
     ///
     /// # Panics
@@ -92,7 +96,7 @@ impl TraceSource for ReplayBuffer {
     }
 }
 
-impl<R: std::io::Read> TraceSource for fade_trace::TraceReader<R> {
+impl<R: std::io::Read + Send> TraceSource for fade_trace::TraceReader<R> {
     fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize) {
         match fade_trace::TraceReader::next_records_into(self, buf, n) {
             Ok(0) if n > 0 => panic!("replay trace file exhausted"),
@@ -223,35 +227,33 @@ impl MonitoringSystem {
     ///
     /// Panics if `monitor_name` is unknown or the monitor's FADE
     /// program fails validation.
+    #[deprecated(note = "build a `fade_system::Session` instead: \
+                         `Session::builder().monitor(name).source(bench).config(*cfg).build()`")]
     pub fn new(bench: &BenchProfile, monitor_name: &str, cfg: &SystemConfig) -> Self {
         let monitor = monitor_by_name(monitor_name)
             .unwrap_or_else(|| panic!("unknown monitor {monitor_name}"));
-        Self::with_monitor(bench, monitor, cfg)
+        Self::build(bench, monitor, cfg, None, None)
     }
 
-    /// Like [`MonitoringSystem::with_monitor`], but with a caller-built
-    /// FADE program (ablations: SUU removal, alternative event-table
+    /// Like [`SessionBuilder::monitor_object`] + a custom program, as a
+    /// raw constructor (ablations: SUU removal, alternative event-table
     /// encodings).
+    ///
+    /// [`SessionBuilder::monitor_object`]: crate::SessionBuilder::monitor_object
     ///
     /// # Panics
     ///
     /// Panics if the program fails validation or the config is
     /// unaccelerated.
+    #[deprecated(note = "build a `fade_system::Session` instead: \
+                         `Session::builder().monitor_object(m).program(p).source(bench).config(*cfg).build()`")]
     pub fn with_program(
         bench: &BenchProfile,
         monitor: Box<dyn Monitor>,
         program: fade::FadeProgram,
         cfg: &SystemConfig,
     ) -> Self {
-        let mut sys = Self::with_monitor(bench, monitor, cfg);
-        let Accel::Fade(mode) = cfg.accel else {
-            panic!("with_program requires a FADE-enabled configuration");
-        };
-        let mut fc = FadeConfig::paper(mode);
-        fc.event_queue = cfg.event_queue;
-        fc.unfiltered_queue = cfg.unfiltered_queue;
-        sys.fade = Some(Fade::new(fc, program));
-        sys
+        Self::build(bench, monitor, cfg, Some(program), None)
     }
 
     /// Builds a system around a caller-provided monitor — the hook for
@@ -261,46 +263,80 @@ impl MonitoringSystem {
     /// # Panics
     ///
     /// Panics if the monitor's FADE program fails validation.
+    #[deprecated(note = "build a `fade_system::Session` instead: \
+                         `Session::builder().monitor_object(m).source(bench).config(*cfg).build()`")]
     pub fn with_monitor(
         bench: &BenchProfile,
         monitor: Box<dyn Monitor>,
         cfg: &SystemConfig,
     ) -> Self {
-        let program = monitor.program();
-        let mut state = MetadataState::new(program.md_map());
+        Self::build(bench, monitor, cfg, None, None)
+    }
+
+    /// The one real constructor: every public entry point — the
+    /// deprecated shims above and [`crate::SessionBuilder::build`] —
+    /// lands here, so they cannot drift apart.
+    ///
+    /// `program` replaces the monitor's own FADE program (ablations);
+    /// `source` replaces on-the-fly synthetic generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program fails validation, or if `program` is given
+    /// for an unaccelerated config (the session builder reports both as
+    /// typed [`crate::SessionError`]s before reaching this point).
+    pub(crate) fn build(
+        bench: &BenchProfile,
+        monitor: Box<dyn Monitor>,
+        cfg: &SystemConfig,
+        program: Option<fade::FadeProgram>,
+        source: Option<Box<dyn TraceSource>>,
+    ) -> Self {
+        let mon_program = monitor.program();
+        let mut state = MetadataState::new(mon_program.md_map());
         monitor.init_state(&mut state);
+        let custom_program = program.is_some();
+        if custom_program && cfg.accel == Accel::None {
+            panic!("a custom FADE program requires a FADE-enabled configuration");
+        }
         let fade = match cfg.accel {
             Accel::None => None,
             Accel::Fade(mode) => {
                 let mut fc = FadeConfig::paper(mode);
                 fc.event_queue = cfg.event_queue;
                 fc.unfiltered_queue = cfg.unfiltered_queue;
-                if let Some(bytes) = cfg.tweaks.md_cache_bytes {
-                    fc.md_cache = fade::TagCacheConfig {
-                        size_bytes: bytes,
-                        ways: 2,
-                        line_bytes: 64,
-                    };
+                if !custom_program {
+                    // Caller-built programs (ablations) run on the
+                    // paper's baseline hardware parameters — ablations
+                    // compare programs, not hardware tweaks; everything
+                    // else gets the config's full tweak set.
+                    if let Some(bytes) = cfg.tweaks.md_cache_bytes {
+                        fc.md_cache = fade::TagCacheConfig {
+                            size_bytes: bytes,
+                            ways: 2,
+                            line_bytes: 64,
+                        };
+                    }
+                    if let Some(n) = cfg.tweaks.tlb_entries {
+                        fc.tlb_entries = n;
+                    }
+                    if let Some(n) = cfg.tweaks.fsq_entries {
+                        fc.fsq_entries = n;
+                    }
+                    if cfg.ideal_consumer {
+                        // Section 3.2's queueing study: the accelerator
+                        // consumes exactly one event per cycle with no
+                        // metadata-miss, drain or backpressure stalls.
+                        fc.tlb_miss_penalty = 0;
+                        fc.blocking_resume_latency = 0;
+                        fc.mem_lat = fade_sim::MemLatency { l1: 0, l2: 0, dram: 0 };
+                        fc.unfiltered_queue = fade_sim::QueueDepth::Unbounded;
+                    }
                 }
-                if let Some(n) = cfg.tweaks.tlb_entries {
-                    fc.tlb_entries = n;
-                }
-                if let Some(n) = cfg.tweaks.fsq_entries {
-                    fc.fsq_entries = n;
-                }
-                if cfg.ideal_consumer {
-                    // Section 3.2's queueing study: the accelerator
-                    // consumes exactly one event per cycle with no
-                    // metadata-miss, drain or backpressure stalls.
-                    fc.tlb_miss_penalty = 0;
-                    fc.blocking_resume_latency = 0;
-                    fc.mem_lat = fade_sim::MemLatency { l1: 0, l2: 0, dram: 0 };
-                    fc.unfiltered_queue = fade_sim::QueueDepth::Unbounded;
-                }
-                Some(Fade::new(fc, program))
+                Some(Fade::new(fc, program.unwrap_or(mon_program)))
             }
         };
-        MonitoringSystem {
+        let mut sys = MonitoringSystem {
             monitor,
             source: Box::new(SyntheticProgram::new(bench, cfg.seed)),
             commit: CommitModel::new(cfg.core, bench.commit, Rng::seed_from(cfg.seed ^ 0xbace)),
@@ -346,7 +382,11 @@ impl MonitoringSystem {
             total_instrs: 0,
             total_cycles: 0,
             cfg: *cfg,
+        };
+        if let Some(source) = source {
+            sys.source = source;
         }
+        sys
     }
 
     /// Builds a system that replays a pre-generated record buffer
@@ -359,13 +399,15 @@ impl MonitoringSystem {
     ///
     /// Panics if `monitor_name` is unknown or the monitor's FADE
     /// program fails validation.
+    #[deprecated(note = "build a `fade_system::Session` instead: \
+                         `Session::builder().monitor(name).source((bench.clone(), records)).config(*cfg).build()`")]
     pub fn from_records(
         bench: &BenchProfile,
         monitor_name: &str,
         cfg: &SystemConfig,
         records: Vec<TraceRecord>,
     ) -> Self {
-        Self::with_source(bench, monitor_name, cfg, Box::new(ReplayBuffer::new(records)))
+        Self::build_named(bench, monitor_name, cfg, Some(Box::new(ReplayBuffer::new(records))))
     }
 
     /// Builds a system fed by an arbitrary [`TraceSource`] — the hook
@@ -377,15 +419,29 @@ impl MonitoringSystem {
     ///
     /// Panics if `monitor_name` is unknown or the monitor's FADE
     /// program fails validation.
+    #[deprecated(note = "build a `fade_system::Session` instead: \
+                         `Session::builder().monitor(name).trace_source(bench.clone(), source).config(*cfg).build()`")]
     pub fn with_source(
         bench: &BenchProfile,
         monitor_name: &str,
         cfg: &SystemConfig,
         source: Box<dyn TraceSource>,
     ) -> Self {
-        let mut sys = Self::new(bench, monitor_name, cfg);
-        sys.source = source;
-        sys
+        Self::build_named(bench, monitor_name, cfg, Some(source))
+    }
+
+    /// [`MonitoringSystem::build`] with the monitor resolved by name —
+    /// the shared tail of the name-keyed shims and the in-crate
+    /// harnesses.
+    pub(crate) fn build_named(
+        bench: &BenchProfile,
+        monitor_name: &str,
+        cfg: &SystemConfig,
+        source: Option<Box<dyn TraceSource>>,
+    ) -> Self {
+        let monitor = monitor_by_name(monitor_name)
+            .unwrap_or_else(|| panic!("unknown monitor {monitor_name}"));
+        Self::build(bench, monitor, cfg, None, source)
     }
 
     /// Builds a system that streams a recorded `.fadet` trace file.
@@ -402,6 +458,8 @@ impl MonitoringSystem {
     ///
     /// Panics if `monitor_name` is unknown or the monitor's FADE
     /// program fails validation.
+    #[deprecated(note = "build a `fade_system::Session` instead: \
+                         `Session::builder().monitor(name).source(path).config(*cfg).build()`")]
     pub fn from_trace_file(
         path: impl AsRef<std::path::Path>,
         monitor_name: &str,
@@ -410,17 +468,17 @@ impl MonitoringSystem {
         let reader = fade_trace::TraceReader::open(path)?;
         let bench = fade_trace::bench::by_name(&reader.meta().bench)
             .ok_or(fade_trace::TraceFileError::BadHeader)?;
-        Ok(Self::with_source(
-            &bench,
-            monitor_name,
-            cfg,
-            Box::new(reader),
-        ))
+        Ok(Self::build_named(&bench, monitor_name, cfg, Some(Box::new(reader))))
     }
 
     /// The monitor driving this system (bug reports, etc.).
     pub fn monitor(&self) -> &dyn Monitor {
         self.monitor.as_ref()
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
     }
 
     /// The current metadata state (read access for examples/tests).
@@ -1056,10 +1114,12 @@ impl MonitoringSystem {
         r
     }
 
-    fn try_enqueue(&mut self, ev: AppEvent) -> Result<(), ()> {
+    /// Attempts to hand one event to the monitoring side; a full queue
+    /// hands the event back (backpressure, like [`BoundedQueue::push`]).
+    fn try_enqueue(&mut self, ev: AppEvent) -> Result<(), AppEvent> {
         match &mut self.fade {
-            Some(f) => f.enqueue(ev).map_err(|_| ()),
-            None => self.sw_queue.push(ev).map_err(|_| ()),
+            Some(f) => f.enqueue(ev),
+            None => self.sw_queue.push(ev),
         }
     }
 
@@ -1348,6 +1408,8 @@ pub fn baseline_cycles(
 }
 
 /// Runs one experiment: warmup, measure, and baseline comparison.
+#[deprecated(note = "build a `fade_system::Session` instead: \
+                     `Session::builder().monitor(name).source(bench).config(*cfg).build()?.run_measured(warmup, measure)`")]
 pub fn run_experiment(
     bench: &BenchProfile,
     monitor_name: &str,
@@ -1355,7 +1417,7 @@ pub fn run_experiment(
     warmup: u64,
     measure: u64,
 ) -> RunStats {
-    run_experiment_mode(bench, monitor_name, cfg, warmup, measure, ExecMode::Cycle)
+    crate::session::legacy_experiment(bench, monitor_name, cfg, warmup, measure, ExecMode::Cycle)
 }
 
 /// [`run_experiment`] with an explicit execution engine.
@@ -1365,6 +1427,8 @@ pub fn run_experiment(
 /// bit-exact with [`ExecMode::Cycle`], the reported `cycles` is a
 /// sampled estimate (see [`RunStats::sampling`]), and the run is
 /// drained before collection so the estimate covers all in-flight work.
+#[deprecated(note = "build a `fade_system::Session` instead: \
+                     `Session::builder().monitor(name).source(bench).engine(mode.into()).config(*cfg).build()?.run_measured(warmup, measure)`")]
 pub fn run_experiment_mode(
     bench: &BenchProfile,
     monitor_name: &str,
@@ -1373,22 +1437,7 @@ pub fn run_experiment_mode(
     measure: u64,
     mode: ExecMode,
 ) -> RunStats {
-    let mut sys = MonitoringSystem::new(bench, monitor_name, cfg);
-    match mode {
-        ExecMode::Cycle => {
-            sys.run_instrs(warmup);
-            sys.start_measure();
-            sys.run_instrs(measure);
-        }
-        ExecMode::Batched => {
-            sys.run_batched(warmup);
-            sys.start_measure();
-            sys.run_batched(measure);
-            sys.drain();
-        }
-    }
-    let baseline = baseline_cycles(bench, cfg.core, cfg.seed, warmup, measure);
-    sys.finish(bench.name, baseline)
+    crate::session::legacy_experiment(bench, monitor_name, cfg, warmup, measure, mode)
 }
 
 #[cfg(test)]
@@ -1400,6 +1449,27 @@ mod tests {
 
     const WARM: u64 = 5_000;
     const MEAS: u64 = 20_000;
+
+    /// The session-built equivalent of the deprecated free function the
+    /// tests below were written against (they test engine behavior, not
+    /// the entry point; `tests/session_equivalence.rs` pins the two
+    /// paths bit-exact).
+    fn run_experiment(
+        bench: &BenchProfile,
+        monitor: &str,
+        cfg: &SystemConfig,
+        warmup: u64,
+        measure: u64,
+    ) -> RunStats {
+        crate::Session::builder()
+            .monitor(monitor)
+            .source(bench.clone())
+            .config(*cfg)
+            .build()
+            .expect("paper monitor and profile")
+            .run_measured(warmup, measure)
+            .stats
+    }
 
     #[test]
     fn fade_system_reaches_high_filtering_ratio_for_addrcheck() {

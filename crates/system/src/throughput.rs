@@ -1,7 +1,7 @@
 //! Functional filtering throughput: monitored events per second of
 //! wall-clock time through the accelerator model.
 //!
-//! The cycle-accurate [`MonitoringSystem`](crate::MonitoringSystem)
+//! The cycle-accurate [`MonitoringSystem`]
 //! measures *simulated* cycles; this harness measures how fast the
 //! simulation itself filters, comparing the per-event `enqueue`+`tick`
 //! driver against the batched fast path ([`fade::Fade::run_batch`]) on
@@ -397,13 +397,21 @@ pub fn measure_system_throughput_records(
     records: Vec<TraceRecord>,
     instrs: u64,
 ) -> SystemThroughputReport {
-    let mut cycle_sys = MonitoringSystem::from_records(bench, monitor_name, cfg, records.clone());
+    let replay = |records: Vec<TraceRecord>| -> MonitoringSystem {
+        MonitoringSystem::build_named(
+            bench,
+            monitor_name,
+            cfg,
+            Some(Box::new(crate::system::ReplayBuffer::new(records))),
+        )
+    };
+    let mut cycle_sys = replay(records.clone());
     let start = Instant::now();
     cycle_sys.run_instrs_exact(instrs);
     cycle_sys.drain();
     let cycle_s = start.elapsed().as_secs_f64();
 
-    let mut batched_sys = MonitoringSystem::from_records(bench, monitor_name, cfg, records);
+    let mut batched_sys = replay(records);
     let start = Instant::now();
     batched_sys.run_batched(instrs);
     batched_sys.drain();

@@ -1,8 +1,8 @@
-//! Property tests for batched system execution: monitor-visible
-//! results never depend on the sampling schedule, and `run_batched`
-//! composes across call boundaries (resume is bit-exact).
+//! Property tests for batched session execution: monitor-visible
+//! results never depend on the sampling schedule, and a batched session
+//! composes across `run` call boundaries (resume is bit-exact).
 
-use fade_system::{MonitoringSystem, SystemConfig};
+use fade_system::{Engine, Session, SystemConfig};
 use fade_trace::bench;
 use proptest::prelude::*;
 
@@ -18,7 +18,7 @@ struct VisibleState {
     fade_functional: Option<[u64; 7]>,
 }
 
-fn visible(sys: &MonitoringSystem) -> VisibleState {
+fn visible(sys: &Session) -> VisibleState {
     VisibleState {
         instrs: sys.instrs(),
         events: sys.events_seen(),
@@ -28,13 +28,22 @@ fn visible(sys: &MonitoringSystem) -> VisibleState {
     }
 }
 
+fn session(bench_name: &str, monitor: &str, engine: Engine, cfg: &SystemConfig) -> Session {
+    Session::builder()
+        .monitor(monitor)
+        .source(bench::by_name(bench_name).unwrap())
+        .engine(engine)
+        .config(*cfg)
+        .build()
+        .unwrap()
+}
+
 fn run_batched(bench_name: &str, monitor: &str, k: u64, w: u64, instrs: u64) -> VisibleState {
-    let b = bench::by_name(bench_name).unwrap();
     let cfg = SystemConfig::fade_single_core()
         .with_sample_period(k)
         .with_sample_window(w);
-    let mut sys = MonitoringSystem::new(&b, monitor, &cfg);
-    sys.run_batched(instrs);
+    let mut sys = session(bench_name, monitor, Engine::batched(), &cfg);
+    sys.run(instrs);
     sys.drain();
     visible(&sys)
 }
@@ -61,23 +70,23 @@ proptest! {
         let monitor = ["AddrCheck", "MemLeak", "TaintCheck"][monitor_idx];
         let bench_name = if monitor == "TaintCheck" { "mcf-taint" } else { "gcc" };
         let w = (k * w_frac / 4).max(1);
-        let b = bench::by_name(bench_name).unwrap();
 
-        let mut reference = MonitoringSystem::new(
-            &b,
+        let mut reference = session(
+            bench_name,
             monitor,
+            Engine::Cycle,
             &SystemConfig::fade_single_core(),
         );
-        reference.run_instrs_exact(seed_instrs);
+        reference.run_exact(seed_instrs);
         reference.drain();
 
         let got = run_batched(bench_name, monitor, k, w, seed_instrs);
         prop_assert_eq!(&got, &visible(&reference));
     }
 
-    /// `run_batched(a); run_batched(b)` consumes the same trace and
-    /// produces the same monitor-visible results as `run_batched(a+b)`
-    /// — the batched engine resumes bit-exactly at call boundaries,
+    /// `run(a); run(b)` on a batched session consumes the same trace
+    /// and produces the same monitor-visible results as `run(a+b)` —
+    /// the batched engine resumes bit-exactly at call boundaries,
     /// wherever they fall relative to the sampling schedule.
     #[test]
     fn run_batched_composes_across_call_boundaries(
@@ -87,18 +96,17 @@ proptest! {
         monitor_idx in 0usize..2,
     ) {
         let monitor = ["AddrCheck", "MemLeak"][monitor_idx];
-        let bench = bench::by_name("astar").unwrap();
         let cfg = SystemConfig::fade_single_core()
             .with_sample_period(k)
             .with_sample_window((k / 4).max(1));
 
-        let mut split = MonitoringSystem::new(&bench, monitor, &cfg);
-        split.run_batched(a);
-        split.run_batched(b_instrs);
+        let mut split = session("astar", monitor, Engine::batched(), &cfg);
+        split.run(a);
+        split.run(b_instrs);
         split.drain();
 
-        let mut whole = MonitoringSystem::new(&bench, monitor, &cfg);
-        whole.run_batched(a + b_instrs);
+        let mut whole = session("astar", monitor, Engine::batched(), &cfg);
+        whole.run(a + b_instrs);
         whole.drain();
 
         prop_assert_eq!(&visible(&split), &visible(&whole));
@@ -109,15 +117,14 @@ proptest! {
 /// exact, batch counters stay zero.
 #[test]
 fn window_covering_period_is_pure_cycle_mode() {
-    let b = bench::by_name("mcf").unwrap();
     let cfg = SystemConfig::fade_single_core()
         .with_sample_period(256)
         .with_sample_window(512);
-    let mut sys = MonitoringSystem::new(&b, "AddrCheck", &cfg);
-    sys.run_batched(10_000);
+    let mut sys = session("mcf", "AddrCheck", Engine::batched(), &cfg);
+    sys.run(10_000);
     sys.drain();
-    let mut reference = MonitoringSystem::new(&b, "AddrCheck", &cfg);
-    reference.run_instrs_exact(10_000);
+    let mut reference = session("mcf", "AddrCheck", Engine::Cycle, &cfg);
+    reference.run_exact(10_000);
     reference.drain();
     assert_eq!(sys.cycles(), reference.cycles(), "pure cycle mode is exact");
     assert_eq!(sys.estimated_total_cycles(), sys.cycles());

@@ -133,7 +133,7 @@ pub enum TraceFileError {
         found: u64,
     },
     /// A structural field is out of its sane range (chunk larger than
-    /// [`MAX_CHUNK_PAYLOAD`], oversized name, unknown marker).
+    /// the maximum chunk payload, oversized name, unknown marker).
     BadStructure {
         /// File offset of the offending field.
         offset: u64,

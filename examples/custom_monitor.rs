@@ -1,6 +1,9 @@
 //! Custom monitor: FADE is *programmable* — this example defines a
-//! brand-new tool the paper never mentions, loads its event-table
-//! program into the accelerator, and runs it on a full workload.
+//! brand-new tool the paper never mentions, registers it in the
+//! [`MonitorRegistry`] next to the five paper monitors, records a
+//! workload to a `.fadet` trace file, and replays the trace through a
+//! [`Session`] — the whole "one accelerator, many monitors" story on
+//! the public API, end to end.
 //!
 //! **SealCheck** enforces write-once ("sealed") memory: once a region
 //! is sealed, any store to it is a violation. Critical metadata is one
@@ -13,15 +16,14 @@
 //! cargo run --release --example custom_monitor
 //! ```
 
-use fade_repro::accel::{
-    EventTableEntry, FadeProgram, HandlerPc, InvId, OperandRule,
-};
-use fade_repro::isa::{
-    event_ids, AppInstr, HighLevelEvent, InstrClass, InstrEvent, StackUpdateEvent,
-};
+use std::sync::Arc;
+
+use fade_repro::accel::{EventTableEntry, FadeProgram, HandlerPc, InvId, OperandRule};
+use fade_repro::isa::{event_ids, AppInstr, HighLevelEvent, InstrClass, InstrEvent, StackUpdateEvent};
 use fade_repro::monitors::{CostModel, EventClass, Monitor, MonitorKind};
 use fade_repro::prelude::*;
 use fade_repro::shadow::MetadataMap;
+use fade_repro::system::record_trace_prefix;
 
 const WRITABLE: u8 = 0;
 const SEALED: u8 = 1;
@@ -119,25 +121,47 @@ impl Monitor for SealCheck {
 }
 
 fn main() {
-    let monitor = SealCheck::default();
-    assert!(monitor.program().validate().is_ok(), "program must be loadable");
+    // 1. Register the new tool next to the paper's five: anywhere a
+    //    monitor is named — sessions, experiment matrices, CLIs — can
+    //    now say "SealCheck".
+    let mut registry = MonitorRegistry::builtin();
+    registry.register(|| Box::new(SealCheck::default()));
+    let registry = Arc::new(registry);
+    println!("registered monitors: {}", registry.names().join(", "));
 
-    // The taint workloads emit taint-source (here: seal) events.
+    // 2. Record a workload to a `.fadet` trace file (the taint
+    //    workloads emit taint-source — here: seal — events). The
+    //    recording monitor only bounds the prefix length; the file
+    //    holds every trace record, so any monitor can replay it.
     let profile = bench::by_name("omnet-taint").unwrap();
-    let mut sys = MonitoringSystem::with_monitor(
-        &profile,
-        Box::new(monitor),
-        &SystemConfig::fade_single_core(),
-    );
-    sys.run_instrs(300_000);
+    let cfg = SystemConfig::fade_single_core();
+    let (records, instrs) = record_trace_prefix(&profile, "TaintCheck", cfg.seed, 60_000);
+    let dir = std::path::Path::new("target");
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("custom_monitor.fadet");
+    write_trace_file(&path, &TraceMeta::new(profile.name, cfg.seed), &records).unwrap();
+    println!("recorded {} records ({instrs} instrs) to {}", records.len(), path.display());
 
-    println!("SealCheck on omnet with periodic region seals\n");
+    // 3. Replay the recorded trace through a Session running the custom
+    //    monitor — by name, resolved in the registry; the benchmark
+    //    profile comes from the trace file's own header.
+    let mut session = Session::builder()
+        .registry(registry)
+        .monitor("SealCheck")
+        .source(path.as_path())
+        .config(cfg)
+        .build()
+        .expect("a registered monitor and a freshly recorded trace");
+    session.run_exact(instrs);
+    session.drain();
+
+    println!("\nSealCheck on omnet with periodic region seals");
     println!(
-        "simulated {} instructions in {} cycles",
-        sys.instrs(),
-        sys.cycles()
+        "replayed {} instructions in {} cycles",
+        session.instrs(),
+        session.cycles()
     );
-    let reports = sys.monitor().reports();
+    let reports = session.monitor().reports();
     println!("seal violations caught: {}", reports.len());
     for r in reports.iter().take(6) {
         println!("  {r}");

@@ -22,8 +22,13 @@ fn main() {
     }
 
     println!("AtomCheck on {workload} ({} threads, time-sliced)\n", profile.threads);
-    let mut sys = MonitoringSystem::new(&profile, "AtomCheck", &SystemConfig::fade_single_core());
-    sys.run_instrs(400_000);
+    let mut sys = Session::builder()
+        .monitor("AtomCheck")
+        .source(&profile)
+        .config(SystemConfig::fade_single_core())
+        .build()
+        .unwrap();
+    sys.run(400_000);
 
     let reports = sys.monitor().reports();
     println!(

@@ -43,14 +43,25 @@ fn main() {
     );
 
     // ---- Live run: generate on the fly, cycle-accurately.
-    let mut live = MonitoringSystem::new(&workload, "MemLeak", &cfg);
-    live.run_instrs_exact(INSTRS);
+    let mut live = Session::builder()
+        .monitor("MemLeak")
+        .source(&workload)
+        .config(cfg)
+        .build()
+        .unwrap();
+    live.run_exact(INSTRS);
     live.drain();
 
     // ---- Replay: stream the file back through the batched engine. The
     // benchmark profile comes from the file's own header metadata.
-    let mut replay = MonitoringSystem::from_trace_file(&path, "MemLeak", &cfg).unwrap();
-    replay.run_batched(INSTRS);
+    let mut replay = Session::builder()
+        .monitor("MemLeak")
+        .source(path.as_path())
+        .engine(Engine::batched())
+        .config(cfg)
+        .build()
+        .unwrap();
+    replay.run_exact(INSTRS);
     replay.drain();
 
     println!(

@@ -58,13 +58,14 @@ fn main() {
 
     // ---- Part 2: FADE filters the untainted majority. ----
     let profile = bench::by_name("astar-taint").unwrap();
-    let stats = run_experiment(
-        &profile,
-        "TaintCheck",
-        &SystemConfig::fade_single_core(),
-        30_000,
-        200_000,
-    );
+    let stats = Session::builder()
+        .monitor("TaintCheck")
+        .source(profile)
+        .config(SystemConfig::fade_single_core())
+        .build()
+        .unwrap()
+        .run_measured(30_000, 200_000)
+        .stats;
     println!("full workload (astar with taint sources):");
     println!("  filtering ratio: {:.1}%", 100.0 * stats.filtering_ratio());
     println!("  FADE slowdown:   {:.2}x", stats.slowdown());

@@ -19,21 +19,20 @@
 //! # Quickstart
 //!
 //! ```
-//! use fade_repro::system::{run_experiment, SystemConfig};
+//! use fade_repro::system::{Session, SystemConfig};
 //! use fade_repro::trace::bench;
 //!
-//! let workload = bench::by_name("mcf").unwrap();
-//! let stats = run_experiment(
-//!     &workload,
-//!     "AddrCheck",
-//!     &SystemConfig::fade_single_core(),
-//!     10_000,
-//!     40_000,
-//! );
+//! let report = Session::builder()
+//!     .monitor("AddrCheck")
+//!     .source(bench::by_name("mcf").unwrap())
+//!     .config(SystemConfig::fade_single_core())
+//!     .build()
+//!     .unwrap()
+//!     .run_measured(10_000, 40_000);
 //! println!(
 //!     "slowdown {:.2}x, filtering ratio {:.1}%",
-//!     stats.slowdown(),
-//!     100.0 * stats.filtering_ratio()
+//!     report.stats.slowdown(),
+//!     100.0 * report.stats.filtering_ratio()
 //! );
 //! ```
 
@@ -52,10 +51,12 @@ pub mod prelude {
     pub use fade_isa::{AppEvent, AppInstr, InstrClass, Reg, VirtAddr};
     pub use fade_monitors::{monitor_by_name, Monitor};
     pub use fade_shadow::MetadataState;
+    #[allow(deprecated)]
+    pub use fade_system::{run_experiment, run_experiment_mode};
     pub use fade_system::{
-        measure_system_throughput, measure_trace_codec, record_trace_prefix, run_experiment,
-        run_experiment_mode, ExecMode, MonitoringSystem, ReplayBuffer, RunStats, SystemConfig,
-        TraceSource,
+        measure_system_throughput, measure_trace_codec, record_trace_prefix, Engine, ExecMode,
+        MonitorRegistry, MonitoringSystem, ReplayBuffer, RunReport, RunStats, Session,
+        SessionBuilder, SessionError, SystemConfig, TraceSource,
     };
     pub use fade_trace::{
         bench, read_trace_file, write_trace_file, BenchProfile, SyntheticProgram, TraceMeta,

@@ -37,15 +37,18 @@ const DEFAULT_CYCLE_TOLERANCE: f64 = 0.10;
 /// small traces, since the sweep covers every pair.
 const SWEEP_INSTRS: u64 = 25_000;
 
-/// Runs one system over exactly `instrs` instructions with the given
+/// Runs one session over exactly `instrs` instructions with the given
 /// engine, drained so nothing is left in flight.
-fn run(bench: &BenchProfile, monitor: &str, cfg: &SystemConfig, instrs: u64, batched: bool) -> MonitoringSystem {
-    let mut sys = MonitoringSystem::new(bench, monitor, cfg);
-    if batched {
-        sys.run_batched(instrs);
-    } else {
-        sys.run_instrs_exact(instrs);
-    }
+fn run(bench: &BenchProfile, monitor: &str, cfg: &SystemConfig, instrs: u64, batched: bool) -> Session {
+    let engine = if batched { Engine::batched() } else { Engine::Cycle };
+    let mut sys = Session::builder()
+        .monitor(monitor)
+        .source(bench)
+        .engine(engine)
+        .config(*cfg)
+        .build()
+        .unwrap_or_else(|e| panic!("{monitor}/{}: {e}", bench.name));
+    sys.run_exact(instrs);
     sys.drain();
     sys
 }
@@ -96,6 +99,28 @@ fn batched_matches_cycle_in_blocking_mode() {
 /// (`measure_system_throughput` also re-checks bit-exactness.)
 #[test]
 fn sampled_cycle_estimates_within_tolerance() {
+    // Wall-clock speedups are asserted on the best of a few attempts:
+    // the simulated-cycle checks are deterministic, but the timing
+    // ratio compares two wall-clock measurements and the workspace test
+    // run saturates every core (the sharded-matrix suite spawns worker
+    // threads), so a single contended measurement can schedule one
+    // engine away. A real regression — batched genuinely no faster —
+    // fails every attempt.
+    fn assert_speedup_with_retry(
+        measure: impl Fn() -> fade_repro::system::SystemThroughputReport,
+        bar: f64,
+        what: &str,
+    ) {
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            best = best.max(measure().speedup());
+            if best > bar {
+                return;
+            }
+        }
+        panic!("{what}: batched mode should beat cycle mode by {bar}x (best of 3: {best:.2}x)");
+    }
+
     // (bench, monitor, accuracy-oriented sampling config). The default
     // 25%-sampled configuration is enough for app-bound workloads like
     // hmmer/AddrCheck; congested monitor-bound workloads (gcc/MemLeak)
@@ -118,23 +143,32 @@ fn sampled_cycle_estimates_within_tolerance() {
             100.0 * r.cycle_error(),
             100.0 * CYCLE_TOLERANCE,
         );
-        assert!(
-            r.speedup() > 1.3,
-            "{bench_name}/{monitor}: batched mode should beat cycle mode (got {:.2}x)",
-            r.speedup()
-        );
+        if r.speedup() <= 1.3 {
+            assert_speedup_with_retry(
+                || measure_system_throughput(&b, monitor, &cfg, 200_000),
+                1.3,
+                &format!("{bench_name}/{monitor}"),
+            );
+        }
     }
     // The speed-oriented default stays within its looser documented
     // tolerance on the congested point.
     let b = bench::by_name("gcc").unwrap();
-    let r = measure_system_throughput(&b, "MemLeak", &SystemConfig::fade_single_core(), 200_000);
+    let cfg = SystemConfig::fade_single_core();
+    let r = measure_system_throughput(&b, "MemLeak", &cfg, 200_000);
     assert!(
         r.cycle_error() <= DEFAULT_CYCLE_TOLERANCE,
         "gcc/MemLeak at default sampling: {:.2}% error, tolerance {:.0}%",
         100.0 * r.cycle_error(),
         100.0 * DEFAULT_CYCLE_TOLERANCE,
     );
-    assert!(r.speedup() > 1.5, "default sampling speedup {:.2}x", r.speedup());
+    if r.speedup() <= 1.5 {
+        assert_speedup_with_retry(
+            || measure_system_throughput(&b, "MemLeak", &cfg, 200_000),
+            1.5,
+            "gcc/MemLeak default sampling",
+        );
+    }
 }
 
 /// Unaccelerated systems take the documented fallback: `run_batched`

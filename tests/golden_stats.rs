@@ -34,7 +34,7 @@ fn golden_path() -> PathBuf {
 
 /// FNV-1a over the monitor-visible metadata: all register metadata plus
 /// probes across globals, heap, and stack territory.
-fn state_fingerprint(sys: &MonitoringSystem) -> u64 {
+fn state_fingerprint(sys: &Session) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |b: u8| {
         h ^= b as u64;
@@ -56,8 +56,14 @@ fn snapshot_one(bench_name: &str, monitor: &str, out: &mut String) {
     let cfg = SystemConfig::fade_single_core()
         .with_sample_period(2048)
         .with_sample_window(512);
-    let mut sys = MonitoringSystem::new(&b, monitor, &cfg);
-    sys.run_batched(INSTRS);
+    let mut sys = Session::builder()
+        .monitor(monitor)
+        .source(b)
+        .engine(Engine::batched())
+        .config(cfg)
+        .build()
+        .unwrap();
+    sys.run(INSTRS);
     sys.drain();
 
     let f = sys.fade_stats().expect("FADE config");

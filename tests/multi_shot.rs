@@ -4,11 +4,11 @@
 //! cycles) differs.
 
 use fade_repro::isa::{layout, Reg, VirtAddr};
-use fade_repro::monitors::{MemCheck, monitor_by_name};
+use fade_repro::monitors::MemCheck;
 use fade_repro::prelude::*;
 use fade_repro::system::baseline_cycles;
 
-fn fingerprint(sys: &MonitoringSystem) -> Vec<u8> {
+fn fingerprint(sys: &Session) -> Vec<u8> {
     let mut f: Vec<u8> = Reg::all().map(|r| sys.state().reg_meta(r)).collect();
     for i in 0..64 {
         f.push(sys.state().mem_meta(VirtAddr::new(layout::GLOBALS_BASE + i * 4)));
@@ -25,14 +25,19 @@ fn multi_shot_is_functionally_identical_and_costs_shots() {
     let meas = 60_000;
 
     let run = |program: fade_repro::accel::FadeProgram| {
-        let mon = monitor_by_name("memcheck").unwrap();
-        let mut sys = MonitoringSystem::with_program(&b, mon, program, &cfg);
-        sys.run_instrs(warm);
+        let mut sys = Session::builder()
+            .monitor("memcheck")
+            .source(&b)
+            .program(program)
+            .config(cfg)
+            .build()
+            .unwrap();
+        sys.run(warm);
         sys.start_measure();
-        sys.run_instrs(meas);
+        sys.run(meas);
         let base = baseline_cycles(&b, cfg.core, cfg.seed, warm, meas);
         let fp = fingerprint(&sys);
-        (sys.finish(b.name, base), fp)
+        (sys.finish(base).stats, fp)
     };
 
     let single_mon = MemCheck::new();

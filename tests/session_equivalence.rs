@@ -1,0 +1,272 @@
+//! The shims are provably lossless: for every monitor × benchmark pair
+//! and every legacy entry point (`run_experiment_mode`,
+//! `MonitoringSystem::from_records`, `MonitoringSystem::from_trace_file`),
+//! the builder-constructed [`Session`] produces bit-exact
+//! `MetadataState`, violation reports, functional accelerator counters
+//! — and, for the measured-experiment path, bit-identical `RunStats` —
+//! so deprecating the old constructors loses nothing.
+
+#![allow(deprecated)] // the whole point is to exercise the legacy paths
+
+use fade_repro::monitors::all_monitors;
+use fade_repro::prelude::*;
+use fade_repro::system::ReplayBuffer;
+use fade_repro::trace::TraceMeta;
+
+mod common;
+use common::{assert_monitor_visible_equal, suite_for};
+
+/// Window of the measured-experiment sweep: small, because it covers
+/// every monitor × benchmark × engine point twice (legacy + session).
+const WARM: u64 = 2_000;
+const MEAS: u64 = 10_000;
+
+/// A sampling configuration small enough that the batched engine
+/// crosses several batch→cycle→batch transitions inside the window.
+fn cfg() -> SystemConfig {
+    SystemConfig::fade_single_core()
+        .with_sample_period(1024)
+        .with_sample_window(256)
+}
+
+/// Every deterministic field of two [`RunStats`] must match exactly.
+fn assert_stats_identical(a: &RunStats, b: &RunStats, what: &str) {
+    assert_eq!(a.benchmark, b.benchmark, "{what}: benchmark");
+    assert_eq!(a.monitor, b.monitor, "{what}: monitor");
+    assert_eq!(a.system, b.system, "{what}: system label");
+    assert_eq!(a.app_instrs, b.app_instrs, "{what}: app_instrs");
+    assert_eq!(a.monitored_events, b.monitored_events, "{what}: monitored_events");
+    assert_eq!(a.stack_events, b.stack_events, "{what}: stack_events");
+    assert_eq!(a.high_level_events, b.high_level_events, "{what}: high_level_events");
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.baseline_cycles, b.baseline_cycles, "{what}: baseline_cycles");
+    assert_eq!(a.fade, b.fade, "{what}: accelerator stats");
+    for (x, y, field) in [
+        (a.class_instrs.cc, b.class_instrs.cc, "cc"),
+        (a.class_instrs.ru, b.class_instrs.ru, "ru"),
+        (a.class_instrs.partial, b.class_instrs.partial, "partial"),
+        (a.class_instrs.complex, b.class_instrs.complex, "complex"),
+        (a.class_instrs.stack, b.class_instrs.stack, "stack"),
+        (a.class_instrs.high_level, b.class_instrs.high_level, "high_level"),
+        (a.util.app_idle, b.util.app_idle, "app_idle"),
+        (a.util.monitor_idle, b.util.monitor_idle, "monitor_idle"),
+        (a.util.both, b.util.both, "both"),
+    ] {
+        assert_eq!(x, y, "{what}: class/util field {field}");
+    }
+    match (&a.sampling, &b.sampling) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            assert_eq!(x.windows, y.windows, "{what}: sampling windows");
+            assert_eq!(x.sampled_instrs, y.sampled_instrs, "{what}: sampled_instrs");
+            assert_eq!(x.sampled_cycles, y.sampled_cycles, "{what}: sampled_cycles");
+            assert_eq!(
+                x.extrapolated_instrs, y.extrapolated_instrs,
+                "{what}: extrapolated_instrs"
+            );
+            assert_eq!(
+                x.extrapolated_events, y.extrapolated_events,
+                "{what}: extrapolated_events"
+            );
+            assert_eq!(
+                x.extrapolated_base_cycles, y.extrapolated_base_cycles,
+                "{what}: extrapolated_base_cycles"
+            );
+            assert_eq!(x.cycles_lo, y.cycles_lo, "{what}: cycles_lo");
+            assert_eq!(x.cycles_hi, y.cycles_hi, "{what}: cycles_hi");
+            assert_eq!(
+                x.residual_per_event.to_bits(),
+                y.residual_per_event.to_bits(),
+                "{what}: residual_per_event"
+            );
+        }
+        _ => panic!("{what}: one run sampled, the other did not"),
+    }
+}
+
+/// `run_experiment_mode` (and therefore `run_experiment`) is a lossless
+/// shim: for every monitor, every benchmark of its suite, and both
+/// engines, the session-built run returns bit-identical `RunStats`.
+#[test]
+fn session_matches_run_experiment_mode_everywhere() {
+    for monitor in all_monitors() {
+        let name = monitor.name();
+        for b in suite_for(name) {
+            for mode in [ExecMode::Cycle, ExecMode::Batched] {
+                let legacy = run_experiment_mode(&b, name, &cfg(), WARM, MEAS, mode);
+                let session = Session::builder()
+                    .monitor(name)
+                    .source(&b)
+                    .engine(mode.into())
+                    .config(cfg())
+                    .build()
+                    .unwrap()
+                    .run_measured(WARM, MEAS)
+                    .stats;
+                assert_stats_identical(
+                    &legacy,
+                    &session,
+                    &format!("{name}/{} {mode:?}", b.name),
+                );
+            }
+        }
+    }
+}
+
+/// `MonitoringSystem::from_records` is a lossless shim: replaying the
+/// same record buffer through a builder session is bit-exact in every
+/// monitor-visible result, for every monitor and both engines.
+#[test]
+fn session_matches_from_records() {
+    for monitor in all_monitors() {
+        let name = monitor.name();
+        let b = suite_for(name).remove(0);
+        let (records, instrs) =
+            fade_repro::system::record_trace_prefix(&b, name, cfg().seed, 8_000);
+        for batched in [false, true] {
+            let mut legacy =
+                MonitoringSystem::from_records(&b, name, &cfg(), records.clone());
+            if batched {
+                legacy.run_batched(instrs);
+            } else {
+                legacy.run_instrs_exact(instrs);
+            }
+            legacy.drain();
+
+            let engine = if batched { Engine::batched() } else { Engine::Cycle };
+            let mut session = Session::builder()
+                .monitor(name)
+                .source((b.clone(), records.clone()))
+                .engine(engine)
+                .config(cfg())
+                .build()
+                .unwrap();
+            session.run_exact(instrs);
+            session.drain();
+
+            assert_monitor_visible_equal(
+                &legacy,
+                &session,
+                &format!("{name}/{} from_records batched={batched}", b.name),
+            );
+            assert_eq!(
+                legacy.cycles(),
+                session.cycles(),
+                "{name}/{}: same engine, same records — even timing is exact",
+                b.name
+            );
+        }
+    }
+}
+
+/// `MonitoringSystem::from_trace_file` is a lossless shim: a `.fadet`
+/// file streamed through a builder session (profile resolved from the
+/// file's own header, like the legacy path) is bit-exact.
+#[test]
+fn session_matches_from_trace_file() {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (monitor, bench_name) in [("MemLeak", "gcc"), ("AddrCheck", "hmmer"), ("AtomCheck", "water")]
+    {
+        let b = bench::by_name(bench_name).unwrap();
+        let (records, instrs) =
+            fade_repro::system::record_trace_prefix(&b, monitor, cfg().seed, 8_000);
+        let path = dir.join(format!("session_eq_{bench_name}_{monitor}.fadet"));
+        write_trace_file(&path, &TraceMeta::new(bench_name, cfg().seed), &records).unwrap();
+
+        let mut legacy = MonitoringSystem::from_trace_file(&path, monitor, &cfg()).unwrap();
+        legacy.run_instrs_exact(instrs);
+        legacy.drain();
+
+        let mut session = Session::builder()
+            .monitor(monitor)
+            .source(path.as_path())
+            .config(cfg())
+            .build()
+            .unwrap();
+        session.run_exact(instrs);
+        session.drain();
+
+        assert_monitor_visible_equal(
+            &legacy,
+            &session,
+            &format!("{monitor}/{bench_name} from_trace_file"),
+        );
+        assert_eq!(legacy.cycles(), session.cycles(), "{monitor}/{bench_name}: timing");
+    }
+}
+
+/// `with_source` (the custom-source hook) is a lossless shim for
+/// arbitrary [`TraceSource`] implementations.
+#[test]
+fn session_matches_with_source() {
+    let b = bench::by_name("mcf").unwrap();
+    let (records, instrs) =
+        fade_repro::system::record_trace_prefix(&b, "MemCheck", cfg().seed, 6_000);
+
+    let mut legacy = MonitoringSystem::with_source(
+        &b,
+        "MemCheck",
+        &cfg(),
+        Box::new(ReplayBuffer::new(records.clone())),
+    );
+    legacy.run_instrs_exact(instrs);
+    legacy.drain();
+
+    let mut session = Session::builder()
+        .monitor("MemCheck")
+        .trace_source(b.clone(), Box::new(ReplayBuffer::new(records)))
+        .config(cfg())
+        .build()
+        .unwrap();
+    session.run_exact(instrs);
+    session.drain();
+
+    assert_monitor_visible_equal(&legacy, &session, "MemCheck/mcf with_source");
+}
+
+/// `with_monitor` and `with_program` are lossless shims for
+/// caller-provided monitors and programs.
+#[test]
+fn session_matches_with_monitor_and_with_program() {
+    let b = bench::by_name("gcc").unwrap();
+
+    let mut legacy = MonitoringSystem::with_monitor(
+        &b,
+        monitor_by_name("MemLeak").unwrap(),
+        &cfg(),
+    );
+    legacy.run_instrs_exact(20_000);
+    legacy.drain();
+    let mut session = Session::builder()
+        .monitor(monitor_by_name("MemLeak").unwrap())
+        .source(&b)
+        .config(cfg())
+        .build()
+        .unwrap();
+    session.run_exact(20_000);
+    session.drain();
+    assert_monitor_visible_equal(&legacy, &session, "MemLeak/gcc with_monitor");
+    assert_eq!(legacy.cycles(), session.cycles(), "with_monitor timing");
+
+    let program = fade_repro::monitors::MemCheck::new().program_multi_shot();
+    let mut legacy = MonitoringSystem::with_program(
+        &b,
+        monitor_by_name("MemCheck").unwrap(),
+        program.clone(),
+        &cfg(),
+    );
+    legacy.run_instrs_exact(20_000);
+    legacy.drain();
+    let mut session = Session::builder()
+        .monitor("MemCheck")
+        .source(&b)
+        .program(program)
+        .config(cfg())
+        .build()
+        .unwrap();
+    session.run_exact(20_000);
+    session.drain();
+    assert_monitor_visible_equal(&legacy, &session, "MemCheck/gcc with_program");
+    assert_eq!(legacy.cycles(), session.cycles(), "with_program timing");
+}

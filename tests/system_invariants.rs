@@ -8,6 +8,36 @@ use fade_repro::prelude::*;
 const WARM: u64 = 10_000;
 const MEAS: u64 = 60_000;
 
+/// Builder-constructed equivalent of the deprecated `run_experiment`
+/// free function (`tests/session_equivalence.rs` pins the two paths
+/// bit-exact).
+fn run_experiment(
+    b: &BenchProfile,
+    monitor: &str,
+    cfg: &SystemConfig,
+    warmup: u64,
+    measure: u64,
+) -> RunStats {
+    Session::builder()
+        .monitor(monitor)
+        .source(b)
+        .config(*cfg)
+        .build()
+        .unwrap()
+        .run_measured(warmup, measure)
+        .stats
+}
+
+/// A cycle-engine session over `b` with `cfg`.
+fn session(b: &BenchProfile, monitor: &str, cfg: &SystemConfig) -> Session {
+    Session::builder()
+        .monitor(monitor)
+        .source(b)
+        .config(*cfg)
+        .build()
+        .unwrap()
+}
+
 /// Addresses sampled for state-equality checks: globals, early heap,
 /// top-of-stack territory.
 fn probe_addrs() -> Vec<VirtAddr> {
@@ -20,7 +50,7 @@ fn probe_addrs() -> Vec<VirtAddr> {
     v
 }
 
-fn state_fingerprint(sys: &MonitoringSystem) -> Vec<u8> {
+fn state_fingerprint(sys: &Session) -> Vec<u8> {
     let mut f = Vec::new();
     for r in Reg::all() {
         f.push(sys.state().reg_meta(r));
@@ -53,14 +83,14 @@ fn runs_are_deterministic() {
 fn blocking_and_non_blocking_agree_functionally() {
     let b = bench::by_name("mcf").unwrap();
     for monitor in ["AddrCheck", "MemCheck", "MemLeak", "TaintCheck"] {
-        let mut nb = MonitoringSystem::new(&b, monitor, &SystemConfig::fade_single_core());
-        let mut blk = MonitoringSystem::new(
+        let mut nb = session(&b, monitor, &SystemConfig::fade_single_core());
+        let mut blk = session(
             &b,
             monitor,
             &SystemConfig::fade_single_core().with_mode(FilterMode::Blocking),
         );
-        nb.run_instrs(50_000);
-        blk.run_instrs(50_000);
+        nb.run(50_000);
+        blk.run(50_000);
         assert_eq!(
             state_fingerprint(&nb),
             state_fingerprint(&blk),
@@ -79,11 +109,10 @@ fn blocking_and_non_blocking_agree_functionally() {
 fn fade_and_software_agree_functionally() {
     let b = bench::by_name("gobmk").unwrap();
     for monitor in ["AddrCheck", "MemCheck", "MemLeak", "TaintCheck"] {
-        let mut hw = MonitoringSystem::new(&b, monitor, &SystemConfig::fade_single_core());
-        let mut sw =
-            MonitoringSystem::new(&b, monitor, &SystemConfig::unaccelerated_single_core());
-        hw.run_instrs(50_000);
-        sw.run_instrs(50_000);
+        let mut hw = session(&b, monitor, &SystemConfig::fade_single_core());
+        let mut sw = session(&b, monitor, &SystemConfig::unaccelerated_single_core());
+        hw.run(50_000);
+        sw.run(50_000);
         assert_eq!(
             state_fingerprint(&hw),
             state_fingerprint(&sw),

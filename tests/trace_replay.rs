@@ -47,9 +47,14 @@ fn record_prefix(b: &BenchProfile, seed: u64, n_instrs: u64) -> Vec<TraceRecord>
     records
 }
 
-fn run_live(b: &BenchProfile, monitor: &str, instrs: u64) -> MonitoringSystem {
-    let mut sys = MonitoringSystem::new(b, monitor, &cfg());
-    sys.run_instrs_exact(instrs);
+fn run_live(b: &BenchProfile, monitor: &str, instrs: u64) -> Session {
+    let mut sys = Session::builder()
+        .monitor(monitor)
+        .source(b)
+        .config(cfg())
+        .build()
+        .unwrap();
+    sys.run_exact(instrs);
     sys.drain();
     sys
 }
@@ -60,18 +65,16 @@ fn run_replay(
     records: Vec<TraceRecord>,
     instrs: u64,
     batched: bool,
-) -> MonitoringSystem {
-    let mut sys = MonitoringSystem::with_source(
-        b,
-        monitor,
-        &cfg(),
-        Box::new(ReplayBuffer::new(records)),
-    );
-    if batched {
-        sys.run_batched(instrs);
-    } else {
-        sys.run_instrs_exact(instrs);
-    }
+) -> Session {
+    let engine = if batched { Engine::batched() } else { Engine::Cycle };
+    let mut sys = Session::builder()
+        .monitor(monitor)
+        .trace_source(b.clone(), Box::new(ReplayBuffer::new(records)))
+        .engine(engine)
+        .config(cfg())
+        .build()
+        .unwrap();
+    sys.run_exact(instrs);
     sys.drain();
     sys
 }
@@ -141,8 +144,14 @@ fn streamed_file_replay_matches_live() {
         .unwrap();
 
     let live = run_live(&b, "MemLeak", SWEEP_INSTRS);
-    let mut streamed = MonitoringSystem::from_trace_file(&path, "MemLeak", &cfg()).unwrap();
-    streamed.run_batched(SWEEP_INSTRS);
+    let mut streamed = Session::builder()
+        .monitor("MemLeak")
+        .source(path.as_path())
+        .engine(Engine::batched())
+        .config(cfg())
+        .build()
+        .unwrap();
+    streamed.run_exact(SWEEP_INSTRS);
     streamed.drain();
     assert_monitor_visible_equal(&live, &streamed, "MemLeak/gcc streamed file replay");
 }
