@@ -169,6 +169,7 @@ fn system_json(replay_dir: Option<&Path>, prefixes: Vec<PointPrefix>) -> String 
                 "\"events_per_sec_batched\": {:.0}, \"events_per_sec_cycle\": {:.0}, ",
                 "\"speedup\": {:.3}, \"fast_path_fraction\": {:.4}, ",
                 "\"exact_cycles\": {}, \"estimated_cycles\": {}, \"cycle_error\": {:.4}, ",
+                "\"rel_half_width\": {}, \"carried_seed_cycles\": {}, ",
                 "\"sample_period\": {}, \"sample_window\": {}}}"
             ),
             r.benchmark,
@@ -182,6 +183,9 @@ fn system_json(replay_dir: Option<&Path>, prefixes: Vec<PointPrefix>) -> String 
             r.exact_cycles,
             r.estimated_cycles,
             r.cycle_error(),
+            r.rel_half_width
+                .map_or_else(|| "null".to_string(), |w| format!("{w:.4}")),
+            r.carried_seed_cycles,
             r.sample_period,
             r.sample_window,
         ));
@@ -240,7 +244,7 @@ fn trace_json(prefixes: &[PointPrefix]) -> String {
 type Section = (&'static str, fn() -> String);
 
 /// One JSON row per `.timed(...)` matrix a section ran: the sharding
-/// evidence (schema v4).
+/// evidence (since schema v4).
 fn matrix_json(rows: &[(String, MatrixTiming)]) -> String {
     rows.iter()
         .map(|(section, t)| {
@@ -357,7 +361,7 @@ fn main() {
     let system_rows = system_json(replay_dir.as_deref(), prefixes);
     let matrix_rows = matrix_json(&matrix_rows);
     let json = format!(
-        "{{\n  \"schema\": \"fade-pipeline-throughput/v4\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"trace_results\": [\n{trace_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ],\n  \"matrix_results\": [\n{matrix_rows}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"fade-pipeline-throughput/v5\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"trace_results\": [\n{trace_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ],\n  \"matrix_results\": [\n{matrix_rows}\n  ]\n}}\n",
     );
     let path = "BENCH_pipeline.json";
     match std::fs::write(path, &json) {

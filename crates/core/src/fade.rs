@@ -217,11 +217,14 @@ impl FadeTick {
 pub struct BatchStats {
     /// Events drained from the batch.
     pub events: u64,
-    /// Events that took the short-circuit fast path (filterable
-    /// instruction events with warm metadata structures).
+    /// Events that took the short-circuit fast path: single-shot
+    /// instruction events whose metadata structures were warm (M-TLB
+    /// and MD-cache hits, by the MRU window or a real lookup), i.e.
+    /// that paid no miss penalty.
     pub fast_path: u64,
-    /// Events that fell back to the cycle-accurate [`Fade::tick`] loop
-    /// (stack updates, high-level events, cold TLB/cache, multi-shot).
+    /// Events off the fast path: stack updates, high-level events and
+    /// multi-shot chains (the cycle-accurate [`Fade::tick`] machinery),
+    /// plus single-shot events that missed in the M-TLB or MD cache.
     pub fallback: u64,
     /// Events dispatched to the software consumer during the batch.
     pub dispatched: u64,
@@ -247,16 +250,26 @@ impl BatchStats {
     }
 }
 
+/// Slots in the set-aware MD window of [`BatchCtx`]. Must be a power of
+/// two no larger than any MD-cache set count it is used with (the slot
+/// index is `line % min(MD_WINDOW_SLOTS, sets)`, so two lines of the
+/// same cache set always collide in the window and a stale "line X is
+/// at MRU of its set" entry can never survive a same-set access).
+const MD_WINDOW_SLOTS: usize = 8;
+
 /// Hot-path context for [`Fade::run_batch`].
 ///
-/// Remembers what the last Metadata Read stage left at the MRU position
+/// Remembers what recent Metadata Read stages left at the MRU position
 /// of the M-TLB and the MD cache, plus a decoded "plan" for the last
-/// event ID, so the common same-page/same-line/single-shot case can
-/// skip the associative lookups entirely. The shortcut is *exact*: it
-/// fires only when the access provably hits at MRU, where a real
-/// access would bump the hit counter and leave the LRU order unchanged.
-/// Any cycle-accurate `tick` (and any dispatch, whose metadata write
-/// fills the MD cache) invalidates the MRU fields.
+/// event ID, so the common warm single-shot case can skip the
+/// associative lookups entirely. The MD side is a small *set-aware*
+/// window rather than a single line: each slot records a line known to
+/// sit at the MRU way of *its own* cache set, so streams that alternate
+/// between lines in different sets (strides, producer/consumer pairs)
+/// stay on the zero-search path. The shortcut is *exact*: it fires only
+/// when the access provably hits at MRU of its set, where a real access
+/// would bump the hit counter and leave the LRU order unchanged. Any
+/// cycle-accurate `tick` invalidates the MRU fields.
 #[derive(Clone, Copy, Debug, Default)]
 struct BatchCtx {
     /// Event ID the decoded plan below describes.
@@ -268,8 +281,19 @@ struct BatchCtx {
     plan_has_mem: bool,
     /// Application page number at the M-TLB's MRU slot.
     mru_page: Option<u32>,
-    /// Metadata line known to sit at the MRU way of its MD-cache set.
-    mru_line: Option<u64>,
+    /// Metadata lines known to sit at the MRU way of their MD-cache
+    /// set, keyed by `line % min(MD_WINDOW_SLOTS, sets)`.
+    md_window: [Option<u64>; MD_WINDOW_SLOTS],
+}
+
+impl BatchCtx {
+    /// Drops all MRU knowledge (cycle-accurate operation can reorder
+    /// the TLB / MD-cache LRU state arbitrarily).
+    #[inline]
+    fn invalidate_mru(&mut self) {
+        self.mru_page = None;
+        self.md_window = [None; MD_WINDOW_SLOTS];
+    }
 }
 
 /// A pending functional effect, applied when the in-flight event
@@ -487,8 +511,7 @@ impl Fade {
     pub fn tick(&mut self, st: &mut MetadataState) -> FadeTick {
         // Cycle-accurate operation can reorder the TLB / MD-cache LRU
         // state arbitrarily: drop the batch fast path's MRU knowledge.
-        self.batch.mru_page = None;
-        self.batch.mru_line = None;
+        self.batch.invalidate_mru();
         let mut out = FadeTick::default();
         // The SUU owns the MD cache port while busy.
         if self.suu.busy() {
@@ -541,12 +564,15 @@ impl Fade {
     /// Drains a slice of events through the four-stage pipeline without
     /// per-event `enqueue`/`tick` round trips.
     ///
-    /// Filterable instruction events with warm metadata structures (a
-    /// single-shot entry, the M-TLB and MD-cache lines of the previous
-    /// event, an empty FSQ) take a short-circuit path that skips the
-    /// event queue and the cycle state machine entirely; everything
-    /// else — stack updates, high-level events, cold structures,
-    /// multi-shot chains — falls back to the cycle-accurate [`Fade::tick`]
+    /// Single-shot instruction events run the pipeline stages inline,
+    /// skipping the event queue and the cycle state machine entirely:
+    /// accesses provably at the MRU of the M-TLB and of their MD-cache
+    /// set (a small set-aware window of recent lines) skip even the
+    /// associative lookups, and every other single-shot event does the
+    /// real lookups — warm events (no miss penalty) are the
+    /// short-circuit fast path. Everything else — stack updates,
+    /// high-level events, multi-shot chains — falls back to the
+    /// cycle-accurate [`Fade::tick`]
     /// loop. Dispatched events are consumed immediately (their handlers
     /// complete the same cycle), which is the same contract as driving
     /// the accelerator per event with an always-ready consumer:
@@ -601,9 +627,10 @@ impl Fade {
         out
     }
 
-    /// One instruction event of a batch: tier A (warm shortcut) when
-    /// provably exact, tier B (pipeline stages without queue churn)
-    /// otherwise.
+    /// One instruction event of a batch: tier A (the inline single-shot
+    /// pipeline, fast-path when its metadata structures are warm) when
+    /// the decoded plan allows it, tier B (the full pipeline stages
+    /// without queue churn) for multi-shot chains and unknown events.
     fn batch_instr<F>(
         &mut self,
         ev: &InstrEvent,
@@ -627,36 +654,59 @@ impl Fade {
             self.batch.plan_has_mem = OperandSel::ALL
                 .iter()
                 .any(|&s| e.operand(s).valid && e.operand(s).mem);
-            // The MRU fields describe the previous event's accesses and
+            // The MRU fields describe the previous events' accesses and
             // stay valid across a plan change.
         }
-
-        // Tier A preconditions, checked without side effects.
-        let mut md_addr = 0u64;
-        let warm = self.batch.plan_single_shot
-            && if self.batch.plan_has_mem {
-                md_addr = self.program.md_map().md_addr(ev.app_addr);
-                self.batch.mru_page == Some(ev.app_addr.page())
-                    && self.batch.mru_line == Some(self.md_line(md_addr))
-            } else {
-                true
-            };
-        if !warm {
+        if !self.batch.plan_single_shot {
             self.batch_instr_slow(ev, st, out, consumer);
             return;
         }
 
-        // ---- Tier A: one shot, guaranteed M-TLB + MD-cache MRU hits,
-        // empty FSQ. Exactly the work the pipeline would do, minus the
-        // queue round trip and the associative searches.
-        out.fast_path += 1;
+        // ---- Tier A: the single-shot pipeline inline. The Metadata
+        // Read stage runs first, through the zero-search MRU window
+        // when the access provably hits at MRU of its structures, and
+        // through the real associative lookups otherwise — bit-exact
+        // with `resolve_instr`'s read either way (same hit/miss
+        // counters, LRU motion, fills and stall cycles). Warm events
+        // (no miss penalty) are the short-circuit fast path; cold ones
+        // count as fallback but still skip the queue round trip.
+        let mut penalty = 0u32;
+        if self.batch.plan_has_mem {
+            let md_addr = self.program.md_map().md_addr(ev.app_addr);
+            let line = self.md_line(md_addr);
+            let slot = self.md_window_slot(line);
+            if self.batch.mru_page == Some(ev.app_addr.page())
+                && self.batch.md_window[slot] == Some(line)
+            {
+                self.tlb.record_mru_hit(ev.app_addr);
+                self.md_cache.record_mru_hit(md_addr);
+            } else {
+                if !self.tlb.access(ev.app_addr) {
+                    penalty += self.config.tlb_miss_penalty;
+                    self.stats.tlb_miss_stall_cycles += self.config.tlb_miss_penalty as u64;
+                }
+                if !self.md_cache.access(md_addr) {
+                    let fill = if self.md_l2.access(md_addr) {
+                        self.config.mem_lat.l2
+                    } else {
+                        self.config.mem_lat.dram
+                    };
+                    penalty += fill;
+                    self.stats.md_miss_stall_cycles += fill as u64;
+                }
+                // Both structures now hold this access at MRU.
+                self.batch.mru_page = Some(ev.app_addr.page());
+                self.batch.md_window[slot] = Some(line);
+            }
+        }
+        if penalty == 0 {
+            out.fast_path += 1;
+        } else {
+            out.fallback += 1;
+        }
         self.stats.instr_events += 1;
         self.stats.shots += 1;
-        self.stats.busy_cycles += 1;
-        if self.batch.plan_has_mem {
-            self.tlb.record_mru_hit(ev.app_addr);
-            self.md_cache.record_mru_hit(md_addr);
-        }
+        self.stats.busy_cycles += 1 + penalty as u64;
         let entry = self.program.table().entry(ev.id).expect("plan implies an entry");
         let ops = self.fetch_operands(entry, ev, st);
         let d = evaluate_shot(entry, &ops, self.program.invariants());
@@ -666,14 +716,13 @@ impl Fade {
         }
         // Unfiltered (or partial hit): same dispatch machinery as the
         // pipeline; the UFQ and FSQ are empty, so finalize cannot stall.
+        // The dispatch's metadata write (if any) fills the same line the
+        // read just touched, so the MD window stays exact.
         let entry = *entry;
         let resolution = self.dispatch_resolution(ev, &entry, d.condition_holds, st);
         let mut tk = FadeTick::default();
         self.finalize(resolution, st, &mut tk);
         debug_assert!(tk.dispatched.is_some(), "empty UFQ/FSQ cannot stall");
-        // The dispatch's metadata write may have filled an MD-cache
-        // line, perturbing the set's recency order.
-        self.batch.mru_line = None;
         self.drain_dispatched(st, out, consumer);
         self.settle_batch(st, out, consumer); // blocking-mode resume
     }
@@ -692,27 +741,20 @@ impl Fade {
         out.fallback += 1;
         let (resolution, cycles) = self.resolve_instr(ev, st);
         self.stats.busy_cycles += cycles as u64;
-        match resolution {
-            Resolution::Filtered => {
-                // This event's Metadata Read left its page and line at
-                // MRU: warm the tier-A context.
-                if self.batch.plan_id == Some(ev.id) && self.batch.plan_has_mem {
-                    self.batch.mru_page = Some(ev.app_addr.page());
-                    self.batch.mru_line =
-                        Some(self.md_line(self.program.md_map().md_addr(ev.app_addr)));
-                }
-            }
-            dispatch => {
-                let mut tk = FadeTick::default();
-                self.finalize(dispatch, st, &mut tk);
-                debug_assert!(tk.dispatched.is_some(), "empty UFQ/FSQ cannot stall");
-                if self.batch.plan_id == Some(ev.id) && self.batch.plan_has_mem {
-                    self.batch.mru_page = Some(ev.app_addr.page());
-                }
-                self.batch.mru_line = None;
-                self.drain_dispatched(st, out, consumer);
-                self.settle_batch(st, out, consumer);
-            }
+        // Either way the event's Metadata Read (and, on dispatch, the
+        // metadata write-fill of the same line) left its page and line
+        // at MRU: warm the tier-A context.
+        if self.batch.plan_id == Some(ev.id) && self.batch.plan_has_mem {
+            self.batch.mru_page = Some(ev.app_addr.page());
+            let line = self.md_line(self.program.md_map().md_addr(ev.app_addr));
+            self.batch.md_window[self.md_window_slot(line)] = Some(line);
+        }
+        if let dispatch @ Resolution::Dispatch { .. } = resolution {
+            let mut tk = FadeTick::default();
+            self.finalize(dispatch, st, &mut tk);
+            debug_assert!(tk.dispatched.is_some(), "empty UFQ/FSQ cannot stall");
+            self.drain_dispatched(st, out, consumer);
+            self.settle_batch(st, out, consumer);
         }
     }
 
@@ -722,6 +764,16 @@ impl Fade {
     #[inline]
     fn md_line(&self, md_addr: u64) -> u64 {
         md_addr / self.md_cache.config().line_bytes as u64
+    }
+
+    /// The MD-window slot a cache line maps to. The slot count divides
+    /// the (power-of-two) set count, so lines of the same cache set
+    /// always share a slot and a same-set access can never leave a
+    /// stale MRU claim behind in another slot.
+    #[inline]
+    fn md_window_slot(&self, line: u64) -> usize {
+        let sets = self.md_cache.config().sets() as u64;
+        (line & (sets.min(MD_WINDOW_SLOTS as u64) - 1)) as usize
     }
 
     /// Pops every dispatched event, completes its handler and hands it

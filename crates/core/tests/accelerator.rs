@@ -367,3 +367,33 @@ fn thread_switch_reprogramming_changes_invariants() {
     run_until_quiet(&mut fade, &mut st, 50);
     assert_eq!(fade.stats().unfiltered_instr, 1);
 }
+
+#[test]
+fn batch_stats_fraction_is_zero_not_nan_on_empty_runs() {
+    // A run that drained no events must report a 0.0 fast-path
+    // fraction, not NaN from 0/0 — callers serialize this number into
+    // BENCH_pipeline.json unguarded.
+    let empty = fade::BatchStats::default();
+    assert_eq!(empty.events, 0);
+    let f = empty.fast_path_fraction();
+    assert_eq!(f, 0.0);
+    assert!(!f.is_nan());
+
+    // And a real zero-event batch call reports the same.
+    let mut fade = Fade::new(FadeConfig::default(), test_program());
+    let mut st = MetadataState::new(MetadataMap::per_word());
+    let bs = fade.run_batch(&[], &mut st);
+    assert_eq!(bs.events, 0);
+    assert_eq!(bs.fast_path_fraction(), 0.0);
+
+    // Merging an empty batch into real counters keeps the fraction
+    // well-defined and unchanged.
+    let mut total = fade::BatchStats {
+        events: 10,
+        fast_path: 7,
+        fallback: 3,
+        dispatched: 1,
+    };
+    total.merge(&bs);
+    assert!((total.fast_path_fraction() - 0.7).abs() < 1e-12);
+}

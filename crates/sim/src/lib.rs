@@ -26,7 +26,10 @@ pub use cache::MemLatency;
 pub use core_model::{CommitModel, CommitProfile, CoreKind, HandlerExec, SmtArbiter};
 pub use queue::{BoundedQueue, QueueDepth};
 pub use rng::Rng;
-pub use stats::{gmean, Cdf, CycleEstimate, LogHistogram, RunningMean, SampleEstimator};
+pub use stats::{
+    gmean, Cdf, CongestionCarry, CycleCi, CycleEstimate, LogHistogram, RunningMean,
+    SampleEstimator,
+};
 
 /// Simulation time, in core clock cycles.
 pub type Cycle = u64;

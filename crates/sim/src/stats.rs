@@ -145,24 +145,55 @@ impl RunningMean {
     }
 }
 
+/// The 95% confidence interval of a [`CycleEstimate`].
+///
+/// Only exists when the estimator has enough information to compute
+/// one: at least two sampled windows (a variance needs `n - 1 >= 1`
+/// degrees of freedom) and a non-zero mean CPI. Degenerate inputs
+/// yield `CycleEstimate::ci == None` instead of `NaN`/`INFINITY`
+/// sentinel arithmetic leaking into reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CycleCi {
+    /// Lower 95% confidence bound on the cycle count.
+    pub lo: f64,
+    /// Upper 95% confidence bound on the cycle count.
+    pub hi: f64,
+    /// Half-width of the CPI confidence interval relative to the mean
+    /// CPI: the documented relative error bound of the estimate.
+    pub rel_half_width: f64,
+}
+
 /// A cycle-count estimate extrapolated from sampled timing windows.
 ///
-/// Produced by [`SampleEstimator::estimate`]; `lo`/`hi` bound the
-/// estimate with a normal-approximation 95% confidence interval over
-/// the per-window CPI samples (SMARTS-style sampling error bars).
+/// Produced by [`SampleEstimator::estimate`]; `ci` bounds the estimate
+/// with a normal-approximation 95% confidence interval over the
+/// per-window CPI samples (SMARTS-style sampling error bars), and is
+/// `None` when fewer than two windows were sampled (no variance
+/// information) or the mean CPI is zero (no relative scale).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CycleEstimate {
     /// Point estimate of the extrapolated cycle count.
     pub cycles: f64,
-    /// Lower 95% confidence bound.
-    pub lo: f64,
-    /// Upper 95% confidence bound.
-    pub hi: f64,
-    /// Half-width of the CPI confidence interval relative to the mean
-    /// CPI: the documented relative error bound of the estimate.
-    /// `INFINITY` when fewer than two windows were sampled (no
-    /// variance information).
-    pub rel_half_width: f64,
+    /// 95% confidence interval, when one is computable.
+    pub ci: Option<CycleCi>,
+}
+
+impl CycleEstimate {
+    /// Lower confidence bound (the point estimate itself when no CI
+    /// exists — callers quoting `lo..hi` degrade to a point estimate).
+    pub fn lo(&self) -> f64 {
+        self.ci.map_or(self.cycles, |c| c.lo)
+    }
+
+    /// Upper confidence bound (see [`CycleEstimate::lo`]).
+    pub fn hi(&self) -> f64 {
+        self.ci.map_or(self.cycles, |c| c.hi)
+    }
+
+    /// Relative error bound, when a CI exists.
+    pub fn rel_half_width(&self) -> Option<f64> {
+        self.ci.map(|c| c.rel_half_width)
+    }
 }
 
 /// Extrapolates cycle counts from periodically sampled cycle-accurate
@@ -192,9 +223,13 @@ impl SampleEstimator {
     }
 
     /// Builds an estimator from pre-measured `(instrs, cycles)` windows.
+    /// Zero-instruction windows carry no CPI information and are
+    /// discarded, exactly as [`SampleEstimator::record_window`] would —
+    /// otherwise a single degenerate window poisons every downstream
+    /// ratio with `NaN`/`inf`.
     pub fn from_windows(windows: &[(u64, f64)]) -> Self {
         SampleEstimator {
-            windows: windows.to_vec(),
+            windows: windows.iter().copied().filter(|&(i, _)| i > 0).collect(),
         }
     }
 
@@ -235,40 +270,128 @@ impl SampleEstimator {
     }
 
     /// Half-width of the 95% confidence interval of the per-window CPI,
-    /// relative to the absolute mean CPI. `INFINITY` with fewer than
-    /// two windows or a zero mean.
-    pub fn rel_half_width(&self) -> f64 {
+    /// relative to the absolute mean CPI. `None` with fewer than two
+    /// windows (the `n - 1` variance denominator needs at least one
+    /// degree of freedom) or a zero mean (no relative scale) — the
+    /// degenerate inputs that used to surface as sentinel infinities.
+    pub fn rel_half_width(&self) -> Option<f64> {
         if self.windows.len() < 2 {
-            return f64::INFINITY;
+            return None;
         }
         let cpis: Vec<f64> = self.windows.iter().map(|&(i, c)| c / i as f64).collect();
         let n = cpis.len() as f64;
         let mean = cpis.iter().sum::<f64>() / n;
         if mean == 0.0 {
-            return f64::INFINITY;
+            return None;
         }
         let var = cpis.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1.0);
-        1.96 * (var / n).sqrt() / mean.abs()
+        Some(1.96 * (var / n).sqrt() / mean.abs())
     }
 
     /// Estimated cycles for `instrs` unsampled instructions, with 95%
-    /// confidence bounds. With no windows the estimate is 0 cycles and
-    /// an infinite relative error (the caller sampled nothing).
+    /// confidence bounds. With no windows the estimate is 0 cycles (the
+    /// caller sampled nothing); with fewer than two windows (or a zero
+    /// mean CPI) the point estimate stands alone and `ci` is `None`.
     pub fn estimate(&self, instrs: u64) -> CycleEstimate {
         let cpi = self.cpi();
         let cycles = cpi * instrs as f64;
-        let rel = self.rel_half_width();
-        let half = if rel.is_finite() {
-            cycles.abs() * rel
-        } else {
-            0.0
-        };
-        CycleEstimate {
-            cycles,
-            lo: cycles - half,
-            hi: cycles + half,
-            rel_half_width: rel,
+        let ci = self.rel_half_width().map(|rel| {
+            let half = cycles.abs() * rel;
+            CycleCi {
+                lo: cycles - half,
+                hi: cycles + half,
+                rel_half_width: rel,
+            }
+        });
+        CycleEstimate { cycles, ci }
+    }
+}
+
+/// Queue-congestion summary carried from a batched stretch into the
+/// next cycle-accurate sampling window.
+///
+/// The batched fast path drains the event stream with an always-ready
+/// consumer, so when the engine drops into a sampling window the
+/// decoupling queues are empty — on monitor-bound workloads that
+/// truncates the long congestion episodes the window was supposed to
+/// measure, biasing the [`SampleEstimator`]'s per-event residual low.
+/// This summary tracks, from the stretch's dispatch stream, how far the
+/// software consumer would have been behind at the stretch boundary:
+///
+/// * [`CongestionCarry::on_dispatch`] records each dispatched event's
+///   estimated handler cycles;
+/// * [`CongestionCarry::on_stretch`] advances the backlog by one
+///   batched chunk — handler work arrives, application cycles drain it
+///   — capping the lag at what the bounded queues could actually hold
+///   (the real producer stalls once they fill, so the carried backlog
+///   can never exceed the recent dispatches that fit in them);
+/// * [`CongestionCarry::take`] hands the accumulated backlog to the
+///   window-entry seeding logic and resets for the next stretch.
+///
+/// The carry is a pure timing quantity: seeding it into a window
+/// pre-loads the monitor thread with already-accounted work, which
+/// cannot change any monitor-visible result.
+#[derive(Clone, Debug)]
+pub struct CongestionCarry {
+    /// Handler-work backlog (estimated cycles) at the stretch boundary.
+    lag_cycles: u64,
+    /// Estimated handler cycles of the most recent dispatches — the
+    /// events that could still be sitting in the bounded queues.
+    recent: std::collections::VecDeque<u64>,
+    recent_sum: u64,
+    /// How many dispatched events the queues can hold at once.
+    cap_entries: usize,
+}
+
+impl CongestionCarry {
+    /// Creates an empty carry for queues holding `cap_entries`
+    /// dispatched events (zero degenerates to "no carry ever").
+    pub fn new(cap_entries: usize) -> Self {
+        CongestionCarry {
+            lag_cycles: 0,
+            recent: std::collections::VecDeque::with_capacity(cap_entries),
+            recent_sum: 0,
+            cap_entries,
         }
+    }
+
+    /// Records one dispatched event's estimated handler cycles.
+    pub fn on_dispatch(&mut self, est_cycles: u64) {
+        if self.cap_entries == 0 {
+            return;
+        }
+        if self.recent.len() == self.cap_entries {
+            if let Some(old) = self.recent.pop_front() {
+                self.recent_sum -= old;
+            }
+        }
+        self.recent.push_back(est_cycles);
+        self.recent_sum += est_cycles;
+    }
+
+    /// Advances the backlog by one batched chunk: `handler_cycles` of
+    /// estimated handler work arrived while `app_cycles` of application
+    /// time drained it. The lag saturates at the recent-dispatch sum —
+    /// the work that could really be queued at the boundary.
+    pub fn on_stretch(&mut self, handler_cycles: u64, app_cycles: u64) {
+        self.lag_cycles = (self.lag_cycles + handler_cycles)
+            .saturating_sub(app_cycles)
+            .min(self.recent_sum);
+    }
+
+    /// The backlog that would be in flight at the stretch boundary.
+    pub fn pending(&self) -> u64 {
+        self.lag_cycles
+    }
+
+    /// Consumes the carried backlog (the window absorbed it) and resets
+    /// the dispatch history for the next stretch.
+    pub fn take(&mut self) -> u64 {
+        let lag = self.lag_cycles;
+        self.lag_cycles = 0;
+        self.recent.clear();
+        self.recent_sum = 0;
+        lag
     }
 }
 
@@ -384,8 +507,8 @@ mod tests {
         let est = e.estimate(1_000);
         assert!((est.cycles - 2_500.0).abs() < 1e-9);
         // Zero variance: the interval collapses onto the estimate.
-        assert!((est.hi - est.lo).abs() < 1e-9);
-        assert!(est.rel_half_width < 1e-12);
+        assert!((est.hi() - est.lo()).abs() < 1e-9);
+        assert!(est.rel_half_width().unwrap() < 1e-12);
     }
 
     #[test]
@@ -393,8 +516,9 @@ mod tests {
         let e = SampleEstimator::from_windows(&[(100, 200.0), (100, 300.0), (100, 250.0)]);
         assert!((e.cpi() - 2.5).abs() < 1e-12);
         let est = e.estimate(100);
-        assert!(est.lo < est.cycles && est.cycles < est.hi);
-        assert!(est.rel_half_width > 0.0 && est.rel_half_width.is_finite());
+        assert!(est.lo() < est.cycles && est.cycles < est.hi());
+        let rel = est.rel_half_width().expect("3 windows give a CI");
+        assert!(rel > 0.0 && rel.is_finite());
     }
 
     #[test]
@@ -405,25 +529,89 @@ mod tests {
         assert!((e.cpi() - 0.1).abs() < 1e-12);
         let est = e.estimate(1_000);
         assert!((est.cycles - 100.0).abs() < 1e-9);
-        assert!(est.lo < est.cycles && est.cycles < est.hi);
+        assert!(est.lo() < est.cycles && est.cycles < est.hi());
     }
 
     #[test]
     fn sample_estimator_degenerate_cases() {
         let mut e = SampleEstimator::new();
         assert!(e.is_empty());
-        assert_eq!(e.estimate(500).cycles, 0.0);
+        let est = e.estimate(500);
+        assert_eq!(est.cycles, 0.0);
+        assert_eq!(est.ci, None);
         assert_eq!(e.cpi(), 0.0);
+        assert_eq!(e.rel_half_width(), None);
         // Zero-instruction windows are discarded.
         e.record_window(0, 999.0);
         assert!(e.is_empty());
-        // A single window gives a point estimate with no error bound.
+        // A single window gives a point estimate with no error bound —
+        // and every derived quantity stays finite (no NaN from the
+        // n - 1 variance denominator).
         e.record_window(10, 30.0);
         assert_eq!(e.len(), 1);
         let est = e.estimate(10);
         assert!((est.cycles - 30.0).abs() < 1e-12);
-        assert!(est.rel_half_width.is_infinite());
-        assert_eq!(est.lo, est.cycles);
-        assert_eq!(est.hi, est.cycles);
+        assert_eq!(est.ci, None);
+        assert_eq!(est.rel_half_width(), None);
+        assert_eq!(est.lo(), est.cycles);
+        assert_eq!(est.hi(), est.cycles);
+        assert!(est.cycles.is_finite() && est.lo().is_finite() && est.hi().is_finite());
+    }
+
+    #[test]
+    fn from_windows_discards_zero_instruction_windows() {
+        // A zero-instruction window used to slip through `from_windows`
+        // and divide by zero in the CPI vector (NaN variance, NaN CI).
+        let e = SampleEstimator::from_windows(&[(0, 123.0), (100, 250.0), (0, 9.0), (100, 200.0)]);
+        assert_eq!(e.len(), 2);
+        assert!((e.cpi() - 2.25).abs() < 1e-12);
+        let est = e.estimate(100);
+        assert!(est.cycles.is_finite());
+        let rel = est.rel_half_width().expect("two real windows give a CI");
+        assert!(rel.is_finite() && !rel.is_nan());
+    }
+
+    #[test]
+    fn zero_mean_cpi_has_no_relative_ci() {
+        // Perfectly cancelling overhead windows: the mean CPI is zero,
+        // so a *relative* half-width has no scale. Typed None, not inf.
+        let e = SampleEstimator::from_windows(&[(100, -50.0), (100, 50.0)]);
+        assert_eq!(e.rel_half_width(), None);
+        assert_eq!(e.estimate(1_000).ci, None);
+    }
+
+    #[test]
+    fn congestion_carry_accumulates_and_caps() {
+        let mut c = CongestionCarry::new(4);
+        assert_eq!(c.pending(), 0);
+        // Four dispatches of 10 estimated cycles each, in a chunk where
+        // handler work (40) outpaced the application (25): 15 carried.
+        for _ in 0..4 {
+            c.on_dispatch(10);
+        }
+        c.on_stretch(40, 25);
+        assert_eq!(c.pending(), 15);
+        // An app-bound chunk drains the lag.
+        c.on_stretch(0, 10);
+        assert_eq!(c.pending(), 5);
+        // The lag can never exceed what the queues hold: the recent
+        // window is 4 dispatches x 10 cycles = 40, even if the nominal
+        // excess is far larger.
+        c.on_stretch(1_000, 0);
+        assert_eq!(c.pending(), 40);
+        // Taking the carry resets everything.
+        assert_eq!(c.take(), 40);
+        assert_eq!(c.pending(), 0);
+        c.on_stretch(1_000, 0);
+        assert_eq!(c.pending(), 0, "no recent dispatches, nothing can be queued");
+    }
+
+    #[test]
+    fn congestion_carry_zero_capacity_is_inert() {
+        let mut c = CongestionCarry::new(0);
+        c.on_dispatch(10);
+        c.on_stretch(100, 0);
+        assert_eq!(c.pending(), 0);
+        assert_eq!(c.take(), 0);
     }
 }

@@ -92,10 +92,12 @@ impl SystemConfig {
     /// the period is simulated exactly, which keeps the extrapolated
     /// cycle estimate within a few percent of a full cycle-accurate run
     /// while the other 3/4 of the stream takes the batched fast path.
-    /// Windows need to be long: each one restarts from drained queues,
-    /// and both commit run/stall phases and queue-congestion episodes
-    /// play out over thousands of events — short windows truncate them
-    /// and bias the sampled overhead low.
+    /// Windows need to be long: commit run/stall phases and
+    /// queue-congestion episodes play out over thousands of events,
+    /// and the congestion-carrying window (seed at entry, steady-state
+    /// tail residual) needs a tail of at least 1024 events to engage —
+    /// shorter windows fall back to whole-window recording, where
+    /// boundary effects dominate the sample.
     pub const DEFAULT_SAMPLE_WINDOW: u64 = 4_096;
 
     /// The headline configuration: single-core dual-threaded 4-way OoO

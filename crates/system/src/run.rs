@@ -87,14 +87,19 @@ pub struct SamplingSummary {
     /// on the real commit process) and the handler side (dispatched
     /// events charged at the monitor thread's standalone IPC).
     pub extrapolated_base_cycles: u64,
+    /// Handler cycles of carried batch-stretch congestion seeded into
+    /// the measured sampling windows (moved out of the base, simulated
+    /// inside the windows), so windows start under the backpressure
+    /// the batched path built up instead of from drained queues.
+    pub carried_seed_cycles: u64,
     /// Sampled *residual* overhead (queueing, SMT interference,
     /// accelerator stalls, imperfect overlap) charged per batched
     /// event on top of the exact base.
     pub residual_per_event: f64,
     /// Relative half-width of the 95% confidence interval on
-    /// `residual_per_event` (infinite when fewer than two windows were
-    /// sampled).
-    pub rel_half_width: f64,
+    /// `residual_per_event` (`None` when fewer than two windows were
+    /// sampled — a point estimate with no variance information).
+    pub rel_half_width: Option<f64>,
     /// Lower confidence bound on the total cycle count.
     pub cycles_lo: u64,
     /// Upper confidence bound on the total cycle count.

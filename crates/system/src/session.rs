@@ -596,6 +596,18 @@ impl Session {
     pub fn fade_stats(&self) -> Option<FadeStats> {
         self.sys.fade_stats()
     }
+
+    /// The `(events, residual cycles)` windows batched execution
+    /// sampled so far (empty for cycle-accurate sessions).
+    pub fn sampled_windows(&self) -> &[(u64, f64)] {
+        self.sys.sampled_windows()
+    }
+
+    /// Carried-congestion handler cycles seeded into sampling windows
+    /// so far (see [`MonitoringSystem::carried_seed_cycles`]).
+    pub fn carried_seed_cycles(&self) -> u64 {
+        self.sys.carried_seed_cycles()
+    }
 }
 
 impl std::fmt::Debug for Session {

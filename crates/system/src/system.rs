@@ -12,8 +12,8 @@ use fade_isa::{instr_event_for, AppEvent, HighLevelEvent};
 use fade_monitors::{monitor_by_name, EventClass, Monitor};
 use fade_shadow::MetadataState;
 use fade_sim::{
-    BoundedQueue, CommitModel, CoreKind, HandlerExec, LogHistogram, Rng, SampleEstimator,
-    SmtArbiter,
+    BoundedQueue, CommitModel, CongestionCarry, CoreKind, HandlerExec, LogHistogram, Rng,
+    SampleEstimator, SmtArbiter,
 };
 use fade_trace::{BenchProfile, SyntheticProgram, TraceRecord};
 
@@ -37,6 +37,12 @@ const RECORD_BATCH: usize = 64;
 /// evaluated at the same granularity the residual was calibrated at.
 /// Chunks are also cut at thread switches and sampling boundaries.
 const BATCH_CHUNK: u64 = 1024;
+
+/// Minimum events in a sampling window's steady-state tail for the
+/// tail (rather than the whole window) to be recorded as the residual
+/// sample on monitor-bound windows — below this, per-window boundary
+/// effects don't amortize and the tail over-samples peak congestion.
+const MIN_TAIL_EVENTS: u64 = 1024;
 
 
 /// Where a [`MonitoringSystem`] gets its trace records.
@@ -159,6 +165,18 @@ pub struct MonitoringSystem {
     estimator: SampleEstimator,
     /// Index into `estimator` windows at `start_measure`.
     measure_from: usize,
+    /// Congestion summary carried from each batched stretch into the
+    /// next sampling window: the handler-work backlog the stretch's
+    /// dispatch stream would have left in the bounded queues. Seeded
+    /// into the monitor thread at window entry so windows measure
+    /// queueing under the congestion the batched path built up instead
+    /// of restarting from drained queues (which truncates long
+    /// congestion episodes and biases monitor-bound estimates low).
+    congestion: CongestionCarry,
+    /// Estimated handler cycles seeded into sampling windows so far.
+    seeded_cycles_total: u64,
+    /// Seeded cycles within the measurement window.
+    m_seeded_cycles: u64,
     /// Exact base cycles of batched stretches since construction: per
     /// chunk, `max(app cycles, handler cycles)` — the app side
     /// fast-forwarded through the *real* commit process unimpeded (so
@@ -354,6 +372,20 @@ impl MonitoringSystem {
             instr_cap: None,
             estimator: SampleEstimator::new(),
             measure_from: 0,
+            // The backlog a stretch can hand the next window is bounded
+            // by the events the decoupling queues hold: the unfiltered
+            // queue, the event queue ahead of it (whose entries may all
+            // be future dispatches on monitor-bound workloads), plus
+            // the one event in the handler. (Unbounded queues — the
+            // idealized-consumer study — get a nominal cap; they never
+            // backpressure anyway.)
+            congestion: CongestionCarry::new(
+                cfg.unfiltered_queue.capacity().unwrap_or(32)
+                    + cfg.event_queue.capacity().unwrap_or(32)
+                    + 1,
+            ),
+            seeded_cycles_total: 0,
+            m_seeded_cycles: 0,
             batch_base_cycles: 0,
             m_batch_base_cycles: 0,
             handler_est_cycles: 0,
@@ -508,6 +540,22 @@ impl MonitoringSystem {
         self.batch_stats
     }
 
+    /// Estimated handler cycles of carried congestion seeded into
+    /// sampling windows so far — how much batch-stretch backlog the
+    /// windows started under instead of starting from drained queues
+    /// (0 if only the cycle engine ran, or nothing ever congested).
+    pub fn carried_seed_cycles(&self) -> u64 {
+        self.seeded_cycles_total
+    }
+
+    /// Relative half-width of the 95% CI on the per-event residual,
+    /// over every window sampled so far (`None` with fewer than two
+    /// windows) — the error bound behind
+    /// [`MonitoringSystem::estimated_total_cycles`].
+    pub fn rel_half_width(&self) -> Option<f64> {
+        self.estimator.rel_half_width()
+    }
+
     /// Accelerator statistics (`None` for unaccelerated systems).
     pub fn fade_stats(&self) -> Option<FadeStats> {
         self.fade.as_ref().map(|f| *f.stats())
@@ -561,7 +609,13 @@ impl MonitoringSystem {
         self.m_batch_instrs = 0;
         self.m_batch_events = 0;
         self.m_batch_base_cycles = 0;
+        self.m_seeded_cycles = 0;
         self.measure_from = self.estimator.len();
+        // Drop any congestion carry accrued before the window: its
+        // charge lives in the unmeasured base, so seeding it into a
+        // measured window would subtract from a measured base that
+        // never included it.
+        self.congestion.take();
     }
 
     /// Runs until `n` more application instructions retire.
@@ -609,7 +663,14 @@ impl MonitoringSystem {
     /// Each sampling period of `cfg.sample_period` monitored events
     /// runs its first `sample_period - sample_window` events through
     /// the batched fast path and its last `sample_window` events
-    /// through [`MonitoringSystem::step`]; the measured window
+    /// through [`MonitoringSystem::step`]. Each window enters carrying
+    /// the congestion of the preceding batch stretch — the monitor
+    /// thread is seeded with the handler backlog the stretch's dispatch
+    /// stream implies ([`CongestionCarry`]), and on monitor-bound
+    /// windows the residual is recorded over the window's tail only,
+    /// with the front half re-establishing steady-state queue pressure
+    /// — so long congestion episodes survive sampling instead of being
+    /// truncated by a drained-queue restart. The measured window
     /// (including its trailing queue drain) feeds a
     /// [`SampleEstimator`], and batched stretches are charged the
     /// sampled CPI in [`MonitoringSystem::estimated_total_cycles`] and
@@ -654,8 +715,8 @@ impl MonitoringSystem {
             } else {
                 // Sampled window: cycle-accurate to the period end,
                 // then drain so the batched path resumes bit-exactly.
-                // The window is recorded whole — from the batch
-                // boundary's empty queues to the drain's last cycle — a
+                // The window runs whole — from the carried-congestion
+                // seed at entry to the drain's last cycle — a
                 // self-contained unit whose every event's work is paid
                 // inside it. The recorded quantity is its *residual*
                 // overhead: measured cycles minus an unimpeded replay
@@ -668,18 +729,136 @@ impl MonitoringSystem {
                 let instrs0 = self.total_instrs;
                 let cycles0 = self.total_cycles;
                 let handler0 = self.handler_est_cycles;
+                // Captured before seeding: the seed's estimated cycles
+                // join the window's handler term, offsetting the
+                // seeded work's simulated cycles in the residual.
+                self.seed_congestion(window_events);
+                // Congestion warmup: the first half of the window
+                // rebuilds the queue state the batched stretch skipped
+                // (the carried seed starts it congested; the warmup
+                // runs it to steady state under real dynamics). It is
+                // simulated — and charged — exactly like the rest of
+                // the window; only the *recorded* residual is restricted
+                // to the tail, so extrapolating it onto batched
+                // stretches no longer mixes in the drained-queue
+                // transient that biased monitor-bound estimates low.
+                let warm_end = events0 + window_events / 2;
                 let mut baseline_commit = self.commit.clone();
+                self.run_cycle_exact(target, warm_end);
+                if self.events_seen < warm_end {
+                    continue; // instruction target hit mid-warmup
+                }
+                let events1 = self.events_seen;
+                let instrs1 = self.total_instrs;
+                let cycles1 = self.total_cycles;
+                let handler1 = self.handler_est_cycles;
+                // Advance the unimpeded replay through the warmup so
+                // the tail's application-side term continues the same
+                // run/stall realization.
+                let ff_warm = unimpeded_commit_cycles(&mut baseline_commit, instrs1 - instrs0);
                 self.run_cycle_exact(target, window_end);
-                if self.events_seen >= window_end && self.events_seen > events0 {
+                if self.events_seen >= window_end && self.events_seen > events1 {
+                    // Steady-state snapshot before the trailing drain:
+                    // the drain pays the end-of-window backlog down at
+                    // full-core rate, a fixed cost that would swamp a
+                    // short tail's per-event residual. Its cycles stay
+                    // exact (simulated, in the total) either way.
+                    let cycles_pre = self.total_cycles;
+                    let handler_pre = self.handler_est_cycles;
                     self.drain();
-                    let di = self.total_instrs - instrs0;
-                    let dc = (self.total_cycles - cycles0) as f64;
-                    let dh = (self.handler_est_cycles - handler0) as f64;
-                    let ff = unimpeded_commit_cycles(&mut baseline_commit, di) as f64;
-                    self.estimator
-                        .record_window(self.events_seen - events0, dc - ff.max(dh));
+                    let di = self.total_instrs - instrs1;
+                    let dc_tail = (cycles_pre - cycles1) as f64;
+                    let dh_tail = (handler_pre - handler1) as f64;
+                    let ff_tail = unimpeded_commit_cycles(&mut baseline_commit, di) as f64;
+                    let dc_whole = (self.total_cycles - cycles0) as f64;
+                    let dh_whole = (self.handler_est_cycles - handler0) as f64;
+                    let ff_whole = ff_warm as f64 + ff_tail;
+                    // Which side bound the whole window decides what to
+                    // record. Monitor-bound (handler work over commit
+                    // time): the residual is queueing, and the warmup
+                    // half still carries the drained-queue startup
+                    // transient — record the steady-state tail only,
+                    // pre-drain. App-bound: the transient is negligible
+                    // and the whole window (with its cheap drain) keeps
+                    // the replay pairing tight — tail-only splits lose
+                    // the synced start and turn phase noise into bias.
+                    // Short tails also record whole: the fixed
+                    // boundary effects (inherited backlog pay-down,
+                    // episode edges) don't amortize over a few hundred
+                    // events and would over-sample peak congestion.
+                    let tail_events = self.events_seen - events1;
+                    let (ev_rec, resid) = if dh_whole > ff_whole
+                        && Self::congestion_window_ok(window_events)
+                    {
+                        (tail_events, dc_tail - ff_tail.max(dh_tail))
+                    } else {
+                        (self.events_seen - events0, dc_whole - ff_whole.max(dh_whole))
+                    };
+                    self.estimator.record_window(ev_rec, resid);
                 }
             }
+        }
+    }
+
+    /// Whether a sampling window of `window_events` events engages the
+    /// congestion-carrying machinery: its planned steady-state tail
+    /// (what remains after the `window_events / 2` warmup) must hold
+    /// at least [`MIN_TAIL_EVENTS`]. The seed gate and the
+    /// tail-record gate both use this predicate — they only work as a
+    /// pair, so they must never disagree on a window.
+    fn congestion_window_ok(window_events: u64) -> bool {
+        window_events - window_events / 2 >= MIN_TAIL_EVENTS
+    }
+
+    /// Seeds the sampling window the engine is about to enter with the
+    /// congestion the preceding batch stretch carried: the monitor
+    /// thread starts the window busy with the handler backlog the
+    /// stretch's dispatch stream would have left in flight, so the
+    /// window's own events immediately contend for the queues and the
+    /// core — the way they would mid-episode in a cycle-accurate run —
+    /// instead of filling drained queues congestion-free.
+    ///
+    /// Pure timing: the seeded work is handler work of *already
+    /// dispatched and applied* events (its functional effects landed at
+    /// filter time, like any popped unfiltered event's), so no
+    /// monitor-visible result can change. Its cycles were charged to
+    /// the stretch's exact base (`max(app, handler)`); the charge moves
+    /// with the work, and the seed's estimated cycles join
+    /// `handler_est_cycles` so the window residual stays the *excess*
+    /// over the base model — now measured under backpressure.
+    ///
+    /// The seed and the tail-recorded residual work as a pair (the
+    /// seed jump-starts congestion, the warmup half carries it to
+    /// steady state, the tail samples it); a window too short to
+    /// tail-record gets no seed either — repeated seeding into short
+    /// whole-recorded windows just piles fixed boundary costs onto too
+    /// few events and flips the bias high.
+    fn seed_congestion(&mut self, window_events: u64) {
+        if !Self::congestion_window_ok(window_events) {
+            // The carry still describes only the stretch that just
+            // ended: drop it rather than letting it go stale.
+            self.congestion.take();
+            return;
+        }
+        if !self.quiesced() {
+            // Mid-window resume (composition): the previous entry
+            // consumed the carry already.
+            return;
+        }
+        let seed = self.congestion.take();
+        if seed == 0 {
+            return;
+        }
+        let hipc = self.cfg.core.handler_ipc().min(self.cfg.core.width() as f64);
+        let cost = ((seed as f64) * hipc).round().max(1.0) as u32;
+        self.handler.start(cost);
+        let est = self.handler_cycle_est(cost);
+        self.handler_est_cycles += est;
+        self.batch_base_cycles = self.batch_base_cycles.saturating_sub(seed);
+        self.seeded_cycles_total += est;
+        if self.measuring {
+            self.m_batch_base_cycles = self.m_batch_base_cycles.saturating_sub(seed);
+            self.m_seeded_cycles += est;
         }
     }
 
@@ -832,6 +1011,7 @@ impl MonitoringSystem {
                 let monitor = &mut self.monitor;
                 let class_instrs = &mut self.class_instrs;
                 let inv_buf = &mut self.inv_buf;
+                let congestion = &mut self.congestion;
                 let measuring = self.measuring;
                 let ideal = self.cfg.ideal_consumer;
                 // Monitor-thread execution rate when it has the core
@@ -848,7 +1028,9 @@ impl MonitoringSystem {
                     } else {
                         unfiltered_cost(monitor.as_ref(), &uf).max(1)
                     } as u64;
-                    handler_cycles += (cost as f64 / hipc).ceil() as u64;
+                    let est = (cost as f64 / hipc).ceil() as u64;
+                    handler_cycles += est;
+                    congestion.on_dispatch(est);
                     if measuring {
                         match uf.event {
                             AppEvent::Instr(_) => {
@@ -873,11 +1055,13 @@ impl MonitoringSystem {
                 if self.measuring {
                     self.m_batch_base_cycles += base;
                 }
+                self.congestion.on_stretch(handler_cycles, ff);
             } else {
                 self.batch_base_cycles += ff;
                 if self.measuring {
                     self.m_batch_base_cycles += ff;
                 }
+                self.congestion.on_stretch(0, ff);
             }
             self.batch_buf = chunk;
         }
@@ -1272,10 +1456,11 @@ impl MonitoringSystem {
                     extrapolated_instrs: self.m_batch_instrs,
                     extrapolated_events: self.m_batch_events,
                     extrapolated_base_cycles: self.m_batch_base_cycles,
+                    carried_seed_cycles: self.m_seeded_cycles,
                     residual_per_event: est.cpi(),
-                    rel_half_width: e.rel_half_width,
-                    cycles_lo: self.m_cycles + extra(e.lo),
-                    cycles_hi: self.m_cycles + extra(e.hi),
+                    rel_half_width: e.rel_half_width(),
+                    cycles_lo: self.m_cycles + extra(e.lo()),
+                    cycles_hi: self.m_cycles + extra(e.hi()),
                 }),
             )
         };

@@ -260,6 +260,11 @@ pub struct SystemThroughputReport {
     pub sample_period: u64,
     /// Cycle-accurate window length the batched run used.
     pub sample_window: u64,
+    /// Relative half-width of the estimator's 95% CI on the per-event
+    /// residual (`None` with fewer than two sampled windows).
+    pub rel_half_width: Option<f64>,
+    /// Carried-congestion handler cycles seeded into sampling windows.
+    pub carried_seed_cycles: u64,
 }
 
 impl SystemThroughputReport {
@@ -456,6 +461,8 @@ pub fn measure_system_throughput_records(
         estimated_cycles: batched_sys.estimated_total_cycles(),
         sample_period: cfg.sample_period,
         sample_window: cfg.sample_window,
+        rel_half_width: batched_sys.rel_half_width(),
+        carried_seed_cycles: batched_sys.carried_seed_cycles(),
     }
 }
 
@@ -683,6 +690,54 @@ mod tests {
         let r = measure_system_throughput_records(&b, "AddrCheck", &cfg, records, instrs);
         assert_eq!(r.events, 20_000);
         assert_eq!(r.instrs, instrs);
+    }
+
+    #[test]
+    fn degenerate_reports_stay_finite() {
+        // A zero-event report (e.g. a run whose window held no batched
+        // stretch) must serialize finite numbers: the fast-path
+        // fraction is defined as 0.0, every rate is guarded, and the
+        // cycle error never divides by zero. These land unguarded in
+        // BENCH_pipeline.json.
+        let r = SystemThroughputReport {
+            benchmark: "none".into(),
+            monitor: "none".into(),
+            events: 0,
+            instrs: 0,
+            cycle_s: 0.0,
+            batched_s: 0.0,
+            batch: BatchStats::default(),
+            exact_cycles: 0,
+            estimated_cycles: 0,
+            sample_period: 0,
+            sample_window: 0,
+            rel_half_width: None,
+            carried_seed_cycles: 0,
+        };
+        for v in [
+            r.fast_path_fraction(),
+            r.cycle_rate(),
+            r.batched_rate(),
+            r.speedup(),
+            r.cycle_error(),
+        ] {
+            assert!(v.is_finite(), "degenerate report leaked {v}");
+        }
+        assert_eq!(r.fast_path_fraction(), 0.0);
+
+        let p = ThroughputReport {
+            benchmark: "none".into(),
+            monitor: "none".into(),
+            batch_size: 0,
+            events: 0,
+            per_event_s: 0.0,
+            batched_s: 0.0,
+            batch: BatchStats::default(),
+            fade: FadeStats::default(),
+        };
+        for v in [p.fast_path_fraction(), p.per_event_rate(), p.batched_rate(), p.speedup()] {
+            assert!(v.is_finite(), "degenerate report leaked {v}");
+        }
     }
 
     #[test]

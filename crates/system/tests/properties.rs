@@ -113,6 +113,87 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The congestion-carrying window (handler seeded at window entry,
+    /// tail-recorded residual on monitor-bound windows) is pure timing:
+    /// on the monitor-bound gcc/MemLeak point — where every window gets
+    /// seeded — any sampling schedule still yields monitor-visible
+    /// results identical to the cycle-accurate reference, even when the
+    /// run is chopped into increments that land call boundaries inside
+    /// seeded windows and their warmup halves.
+    #[test]
+    fn congestion_seeded_windows_never_change_monitor_results(
+        k in 256u64..2048,
+        w_frac in 1u64..=3,
+        chunks in prop::collection::vec(500u64..3_000, 2..6),
+    ) {
+        let total: u64 = chunks.iter().sum();
+        let cfg = SystemConfig::fade_single_core()
+            .with_sample_period(k)
+            .with_sample_window((k * w_frac / 4).max(1));
+
+        let mut reference = session("gcc", "MemLeak", Engine::Cycle, &SystemConfig::fade_single_core());
+        reference.run_exact(total);
+        reference.drain();
+
+        let mut sys = session("gcc", "MemLeak", Engine::batched(), &cfg);
+        for c in chunks {
+            sys.run(c);
+        }
+        sys.drain();
+        prop_assert!(sys.batch_stats().events > 0, "batched path unused");
+        prop_assert_eq!(&visible(&sys), &visible(&reference));
+    }
+}
+
+/// Regression for the sampling-estimator congestion bug: a sustained
+/// monitor-bound workload (gcc/MemLeak — long stretches where handler
+/// work outpaces the commit stream and the queues run full) used to be
+/// estimated well below its cycle-accurate count, because every
+/// sampling window restarted from drained queues and measured the
+/// congestion-free refill transient. With the congestion-carrying
+/// window the estimate must not undershoot the exact count by more
+/// than the documented tolerance — and must stay an estimate, not an
+/// unbounded overshoot.
+#[test]
+fn long_congestion_trace_is_not_underestimated() {
+    // Window shape matters: the congestion-carrying machinery needs
+    // tails of >= 1024 events to sample steady-state backpressure, so
+    // this runs the default 25%-sampled density at half the default
+    // period (several full periods fit in a debug-sized trace).
+    let cfg = SystemConfig::fade_single_core()
+        .with_sample_period(8192)
+        .with_sample_window(2048);
+
+    let mut exact = session("gcc", "MemLeak", Engine::Cycle, &cfg);
+    exact.run_exact(150_000);
+    exact.drain();
+
+    let mut batched = session("gcc", "MemLeak", Engine::batched(), &cfg);
+    batched.run(150_000);
+    batched.drain();
+
+    assert!(batched.batch_stats().events > 0, "batched path unused");
+    assert!(
+        batched.carried_seed_cycles() > 0,
+        "monitor-bound run must seed carried congestion into its windows"
+    );
+    let exact_cycles = exact.cycles() as f64;
+    let estimated = batched.estimated_total_cycles() as f64;
+    assert!(
+        estimated >= exact_cycles * 0.95,
+        "congested workload underestimated again: {estimated} vs exact {exact_cycles} \
+         ({:+.2}%)",
+        100.0 * (estimated - exact_cycles) / exact_cycles,
+    );
+    assert!(
+        estimated <= exact_cycles * 1.15,
+        "estimate overshot: {estimated} vs exact {exact_cycles}",
+    );
+}
+
 /// The W >= K degenerate case runs fully cycle-accurately: timing is
 /// exact, batch counters stay zero.
 #[test]

@@ -23,15 +23,14 @@ mod common;
 use common::{assert_monitor_visible_equal, suite_for};
 
 /// Documented tolerance of the sampled cycle estimate vs a full
-/// cycle-accurate simulation (relative error), for a workload whose
-/// sampling configuration was chosen for accuracy (see the README's
-/// accuracy-vs-speed table). Matches the batched-system-mode claim.
+/// cycle-accurate simulation (relative error), at the *default*
+/// (25%-sampled) configuration, on both the app-bound and the
+/// congested monitor-bound workload. The congestion-carrying sampling
+/// window (handler-backlog seed + steady-state tail residual) is what
+/// holds the monitor-bound point inside this bound without denser
+/// sampling; this test is the accuracy-regression gate that keeps the
+/// drained-queue bias from silently returning.
 const CYCLE_TOLERANCE: f64 = 0.05;
-
-/// Documented tolerance at the *default* (speed-oriented, 25%-sampled)
-/// configuration: congested, monitor-bound workloads can deviate
-/// further because sampling windows restart from drained queues.
-const DEFAULT_CYCLE_TOLERANCE: f64 = 0.10;
 
 /// Instructions per (monitor, benchmark) point in the exhaustive sweep:
 /// small traces, since the sweep covers every pair.
@@ -121,18 +120,15 @@ fn sampled_cycle_estimates_within_tolerance() {
         panic!("{what}: batched mode should beat cycle mode by {bar}x (best of 3: {best:.2}x)");
     }
 
-    // (bench, monitor, accuracy-oriented sampling config). The default
-    // 25%-sampled configuration is enough for app-bound workloads like
-    // hmmer/AddrCheck; congested monitor-bound workloads (gcc/MemLeak)
-    // need the denser 50%-sampled configuration to reach ±5%.
-    let dense = SystemConfig::fade_single_core()
-        .with_sample_period(8_192)
-        .with_sample_window(4_096);
+    // Both evaluation points run the *default* 25%-sampled
+    // configuration: since the congestion-carrying sampling window, the
+    // monitor-bound gcc/MemLeak point no longer needs denser sampling
+    // to reach ±5% (measured: ~-0.6% vs ~-7% before the fix).
     let points = [
-        ("hmmer", "AddrCheck", SystemConfig::fade_single_core()),
-        ("gcc", "MemLeak", dense),
+        ("hmmer", "AddrCheck", SystemConfig::fade_single_core(), 1.3),
+        ("gcc", "MemLeak", SystemConfig::fade_single_core(), 1.5),
     ];
-    for (bench_name, monitor, cfg) in points {
+    for (bench_name, monitor, cfg, speedup_bar) in points {
         let b = bench::by_name(bench_name).unwrap();
         let r = measure_system_throughput(&b, monitor, &cfg, 200_000);
         assert!(
@@ -143,32 +139,27 @@ fn sampled_cycle_estimates_within_tolerance() {
             100.0 * r.cycle_error(),
             100.0 * CYCLE_TOLERANCE,
         );
-        if r.speedup() <= 1.3 {
+        if r.speedup() <= speedup_bar {
             assert_speedup_with_retry(
                 || measure_system_throughput(&b, monitor, &cfg, 200_000),
-                1.3,
+                speedup_bar,
                 &format!("{bench_name}/{monitor}"),
             );
         }
     }
-    // The speed-oriented default stays within its looser documented
-    // tolerance on the congested point.
+    // Denser 50% sampling must stay inside the same tolerance on the
+    // congested point (accuracy can only improve with more windows).
     let b = bench::by_name("gcc").unwrap();
-    let cfg = SystemConfig::fade_single_core();
-    let r = measure_system_throughput(&b, "MemLeak", &cfg, 200_000);
+    let dense = SystemConfig::fade_single_core()
+        .with_sample_period(8_192)
+        .with_sample_window(4_096);
+    let r = measure_system_throughput(&b, "MemLeak", &dense, 200_000);
     assert!(
-        r.cycle_error() <= DEFAULT_CYCLE_TOLERANCE,
-        "gcc/MemLeak at default sampling: {:.2}% error, tolerance {:.0}%",
+        r.cycle_error() <= CYCLE_TOLERANCE,
+        "gcc/MemLeak at 50% sampling: {:.2}% error, tolerance {:.0}%",
         100.0 * r.cycle_error(),
-        100.0 * DEFAULT_CYCLE_TOLERANCE,
+        100.0 * CYCLE_TOLERANCE,
     );
-    if r.speedup() <= 1.5 {
-        assert_speedup_with_retry(
-            || measure_system_throughput(&b, "MemLeak", &cfg, 200_000),
-            1.5,
-            "gcc/MemLeak default sampling",
-        );
-    }
 }
 
 /// Unaccelerated systems take the documented fallback: `run_batched`
