@@ -27,9 +27,9 @@ fn bench_end_to_end(c: &mut Criterion) {
                 .config(cfg)
                 .build()
                 .unwrap();
-            sys.run(5_000); // warm
+            sys.run(5_000).unwrap(); // warm
             b.iter(|| {
-                sys.run(5_000);
+                sys.run(5_000).unwrap();
                 black_box(sys.cycles());
             })
         });

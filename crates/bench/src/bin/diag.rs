@@ -25,7 +25,7 @@ fn main() {
     let mut dirty_regs = 0u64;
     let mut samples = 0u64;
     for _ in 0..200 {
-        session.run(1000);
+        session.run(1000).expect("diag run");
         for r in Reg::all() {
             let v = session.state().reg_meta(r);
             let clean = match mon {

@@ -14,7 +14,8 @@ pub mod matrix;
 pub mod table;
 
 pub use matrix::{
-    default_workers, drain_timings, Experiment, ExperimentMatrix, MatrixResult, MatrixTiming,
+    default_workers, drain_timings, Experiment, ExperimentError, ExperimentMatrix, MatrixResult,
+    MatrixTiming,
 };
 pub use table::Table;
 

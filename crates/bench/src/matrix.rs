@@ -13,6 +13,12 @@
 //! never from shard placement — `tests/matrix.rs` pins both
 //! properties).
 //!
+//! Experiments are isolated from each other: a run that fails — a
+//! panicking monitor, a failed trace source, an exceeded shadow-memory
+//! budget — becomes a typed [`ExperimentError`] row in
+//! [`MatrixResult::outcomes`], in declaration order like any other
+//! result, and every sibling experiment still runs to completion.
+//!
 //! # Example
 //!
 //! ```
@@ -28,17 +34,19 @@
 //!     );
 //! }
 //! let result = matrix.run();
-//! assert_eq!(result.reports.len(), 2);
+//! let reports = result.into_reports();
+//! assert_eq!(reports.len(), 2);
 //! // (the cycle engine may overshoot by up to a commit width)
-//! assert!(result.reports.iter().all(|r| r.stats.app_instrs >= 8_000));
+//! assert!(reports.iter().all(|r| r.stats.app_instrs >= 8_000));
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use fade::FadeProgram;
-use fade_system::{Engine, MonitorRegistry, RunReport, Session, SystemConfig};
+use fade_system::{Engine, MonitorRegistry, RunReport, Session, SessionRunError, SystemConfig};
 use fade_trace::BenchProfile;
 
 use crate::{exec_mode, measure_len, warmup_len};
@@ -108,7 +116,7 @@ impl Experiment {
     }
 
     /// Builds and runs this experiment's session on the current thread.
-    fn run(&self, registry: &Arc<MonitorRegistry>) -> RunReport {
+    fn run(&self, registry: &Arc<MonitorRegistry>) -> Result<RunReport, ExperimentError> {
         let mut builder = Session::builder()
             .registry(Arc::clone(registry))
             .monitor(self.monitor.as_str())
@@ -118,10 +126,98 @@ impl Experiment {
         if let Some(p) = &self.program {
             builder = builder.program(p.clone());
         }
-        builder
-            .build()
-            .unwrap_or_else(|e| panic!("experiment {}: {e}", self.label))
+        let session = builder.build().map_err(|e| ExperimentError::Build {
+            label: self.label.clone(),
+            error: e.to_string(),
+        })?;
+        session
             .run_measured(self.warmup, self.measure)
+            .map_err(|e| ExperimentError::Run {
+                label: self.label.clone(),
+                error: e,
+            })
+    }
+}
+
+/// Why one experiment of a matrix produced no [`RunReport`]. One
+/// experiment's failure never touches its siblings: the error sits in
+/// [`MatrixResult::outcomes`] at the experiment's declaration-order
+/// position and everything else runs to completion.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExperimentError {
+    /// The session failed to build (unknown monitor, invalid FADE
+    /// program, unreadable trace file). The underlying
+    /// [`fade_system::SessionError`] is carried stringified.
+    Build {
+        /// The experiment's display label.
+        label: String,
+        /// The stringified build error.
+        error: String,
+    },
+    /// The session built but its run failed with a typed error —
+    /// including a panicking monitor, which the session catches and
+    /// converts to [`SessionRunError::MonitorPanicked`].
+    Run {
+        /// The experiment's display label.
+        label: String,
+        /// The typed run error.
+        error: SessionRunError,
+    },
+    /// The experiment panicked outside the session's own guard (a
+    /// harness bug rather than a monitor bug — still isolated to this
+    /// row).
+    Panicked {
+        /// The experiment's display label.
+        label: String,
+        /// The panic payload, stringified.
+        payload: String,
+    },
+}
+
+impl ExperimentError {
+    /// The display label of the experiment that failed.
+    pub fn label(&self) -> &str {
+        match self {
+            ExperimentError::Build { label, .. }
+            | ExperimentError::Run { label, .. }
+            | ExperimentError::Panicked { label, .. } => label,
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Build { label, error } => {
+                write!(f, "experiment {label}: build failed: {error}")
+            }
+            ExperimentError::Run { label, error } => {
+                write!(f, "experiment {label}: run failed: {error}")
+            }
+            ExperimentError::Panicked { label, payload } => {
+                write!(f, "experiment {label}: panicked: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Run { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -203,19 +299,22 @@ impl ExperimentMatrix {
     }
 
     /// Runs every experiment, sharded across the matrix's workers, and
-    /// returns the reports **in declaration order** together with the
+    /// returns the outcomes **in declaration order** together with the
     /// wall-clock evidence of the sharding win.
     ///
-    /// # Panics
-    ///
-    /// Panics if any experiment fails to build (unknown monitor,
-    /// invalid program) — an experiment grid with a typo is a harness
-    /// bug, not a recoverable condition — or if a worker panics.
+    /// Experiments are isolated: a failed or panicking experiment
+    /// becomes a typed [`ExperimentError`] row in
+    /// [`MatrixResult::outcomes`] — it never kills the matrix, the
+    /// worker, or any sibling experiment. Drivers that treat any
+    /// failure as fatal use [`MatrixResult::into_reports`] /
+    /// [`ExperimentMatrix::run_stats`], which keep the old
+    /// panic-on-failure discipline.
     pub fn run(self) -> MatrixResult {
         let n = self.experiments.len();
         let workers = self.workers.clamp(1, n.max(1));
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        type Slot = Mutex<Option<Result<RunReport, ExperimentError>>>;
+        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
         let experiments = &self.experiments;
         let registry = &self.registry;
         let start = Instant::now();
@@ -226,13 +325,24 @@ impl ExperimentMatrix {
                     if i >= n {
                         break;
                     }
-                    let report = experiments[i].run(registry);
-                    *slots[i].lock().expect("no worker panicked holding a slot") = Some(report);
+                    // The session guards monitor panics itself; this
+                    // outer guard catches everything else (harness
+                    // bugs) so one bad row cannot take down a worker
+                    // and with it every experiment the worker would
+                    // have claimed.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| experiments[i].run(registry)))
+                        .unwrap_or_else(|payload| {
+                            Err(ExperimentError::Panicked {
+                                label: experiments[i].label.clone(),
+                                payload: panic_message(payload.as_ref()),
+                            })
+                        });
+                    *slots[i].lock().expect("no worker panicked holding a slot") = Some(outcome);
                 });
             }
         });
         let wall_s = start.elapsed().as_secs_f64();
-        let reports: Vec<RunReport> = slots
+        let outcomes: Vec<Result<RunReport, ExperimentError>> = slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
@@ -240,9 +350,12 @@ impl ExperimentMatrix {
                     .expect("scope joined every worker, so every slot is filled")
             })
             .collect();
-        let serial_s = reports.iter().map(|r| r.wall_s).sum();
+        let serial_s = outcomes
+            .iter()
+            .filter_map(|o| o.as_ref().ok().map(|r| r.wall_s))
+            .sum();
         let result = MatrixResult {
-            reports,
+            outcomes,
             workers,
             wall_s,
             serial_s,
@@ -261,8 +374,19 @@ impl ExperimentMatrix {
 
     /// [`ExperimentMatrix::run`], keeping only the [`fade_system::RunStats`] of
     /// each report (the common case for table-rendering code).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failed experiment — the discipline the
+    /// table-rendering binaries want: their grids are static, so any
+    /// failure is a harness bug. Use [`ExperimentMatrix::run`] and
+    /// inspect [`MatrixResult::outcomes`] to tolerate failures.
     pub fn run_stats(self) -> Vec<fade_system::RunStats> {
-        self.run().reports.into_iter().map(|r| r.stats).collect()
+        self.run()
+            .into_reports()
+            .into_iter()
+            .map(|r| r.stats)
+            .collect()
     }
 }
 
@@ -272,18 +396,20 @@ impl Default for ExperimentMatrix {
     }
 }
 
-/// What a matrix run produced: per-experiment reports plus the
+/// What a matrix run produced: per-experiment outcomes plus the
 /// wall-clock totals behind the sharding speedup.
 #[derive(Clone, Debug)]
 pub struct MatrixResult {
-    /// One report per experiment, in declaration order.
-    pub reports: Vec<RunReport>,
+    /// One outcome per experiment, in declaration order: the report,
+    /// or the typed error that experiment (alone) failed with.
+    pub outcomes: Vec<Result<RunReport, ExperimentError>>,
     /// Worker threads actually used.
     pub workers: usize,
     /// Wall-clock seconds for the whole (sharded) matrix.
     pub wall_s: f64,
-    /// Sum of the per-experiment wall clocks — what a single worker
-    /// would have paid running the same grid back to back.
+    /// Sum of the per-experiment wall clocks of *successful* runs —
+    /// what a single worker would have paid running the same grid back
+    /// to back.
     pub serial_s: f64,
 }
 
@@ -292,6 +418,30 @@ impl MatrixResult {
     /// to `workers`× on an idle machine).
     pub fn speedup(&self) -> f64 {
         self.serial_s / self.wall_s.max(1e-12)
+    }
+
+    /// The successful reports, in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failed experiment (with its label and typed
+    /// error) — the all-or-nothing discipline of the table-rendering
+    /// binaries. Inspect [`MatrixResult::outcomes`] or
+    /// [`MatrixResult::errors`] to tolerate failures instead.
+    pub fn into_reports(self) -> Vec<RunReport> {
+        self.outcomes
+            .into_iter()
+            .map(|o| match o {
+                Ok(report) => report,
+                Err(e) => panic!("{e}"),
+            })
+            .collect()
+    }
+
+    /// The errors of every failed experiment, in declaration order
+    /// (empty when everything succeeded).
+    pub fn errors(&self) -> Vec<&ExperimentError> {
+        self.outcomes.iter().filter_map(|o| o.as_ref().err()).collect()
     }
 }
 
@@ -356,17 +506,123 @@ mod tests {
         m.push(tiny("gcc", "MemLeak"));
         m.push(tiny("hmmer", "MemCheck"));
         let result = m.run();
-        let names: Vec<&str> = result.reports.iter().map(|r| r.stats.benchmark.as_str()).collect();
-        assert_eq!(names, vec!["mcf", "gcc", "hmmer"]);
-        let monitors: Vec<&str> = result.reports.iter().map(|r| r.stats.monitor.as_str()).collect();
-        assert_eq!(monitors, vec!["AddrCheck", "MemLeak", "MemCheck"]);
+        assert!(result.errors().is_empty());
         assert!(result.serial_s > 0.0 && result.wall_s > 0.0);
+        let reports = result.into_reports();
+        let names: Vec<&str> = reports.iter().map(|r| r.stats.benchmark.as_str()).collect();
+        assert_eq!(names, vec!["mcf", "gcc", "hmmer"]);
+        let monitors: Vec<&str> = reports.iter().map(|r| r.stats.monitor.as_str()).collect();
+        assert_eq!(monitors, vec!["AddrCheck", "MemLeak", "MemCheck"]);
     }
 
     #[test]
     fn empty_matrix_runs() {
         let result = ExperimentMatrix::new().run();
-        assert!(result.reports.is_empty());
+        assert!(result.outcomes.is_empty());
+    }
+
+    #[test]
+    fn build_failures_are_error_rows_in_declaration_order() {
+        let mut m = ExperimentMatrix::new().workers(2);
+        m.push(tiny("mcf", "AddrCheck"));
+        m.push(tiny("gcc", "NoSuchMonitor"));
+        m.push(tiny("hmmer", "MemCheck"));
+        let result = m.run();
+        assert_eq!(result.outcomes.len(), 3);
+        assert!(result.outcomes[0].is_ok(), "sibling before the bad row");
+        assert!(result.outcomes[2].is_ok(), "sibling after the bad row");
+        match &result.outcomes[1] {
+            Err(ExperimentError::Build { label, .. }) => {
+                assert!(label.contains("NoSuchMonitor"), "label: {label}")
+            }
+            other => panic!("expected a Build error row, got {other:?}"),
+        }
+        assert_eq!(result.errors().len(), 1);
+    }
+
+    /// An AddrCheck that blows up on the first retired instruction —
+    /// the regression fixture for monitor-panic isolation.
+    struct PanicMonitor(fade_monitors::AddrCheck);
+
+    impl fade_monitors::Monitor for PanicMonitor {
+        fn name(&self) -> &'static str {
+            "PanicMonitor"
+        }
+        fn kind(&self) -> fade_monitors::MonitorKind {
+            self.0.kind()
+        }
+        fn selects(&self, _instr: &fade_isa::AppInstr) -> bool {
+            panic!("deliberate monitor panic (matrix isolation test)")
+        }
+        fn monitors_stack(&self) -> bool {
+            self.0.monitors_stack()
+        }
+        fn program(&self) -> FadeProgram {
+            self.0.program()
+        }
+        fn init_state(&self, state: &mut fade_shadow::MetadataState) {
+            self.0.init_state(state)
+        }
+        fn classify(
+            &self,
+            ev: &fade_isa::InstrEvent,
+            state: &fade_shadow::MetadataState,
+        ) -> fade_monitors::EventClass {
+            self.0.classify(ev, state)
+        }
+        fn apply_instr(&mut self, ev: &fade_isa::InstrEvent, state: &mut fade_shadow::MetadataState) {
+            self.0.apply_instr(ev, state)
+        }
+        fn apply_high_level(
+            &mut self,
+            ev: &fade_isa::HighLevelEvent,
+            state: &mut fade_shadow::MetadataState,
+        ) {
+            self.0.apply_high_level(ev, state)
+        }
+        fn apply_stack_update(
+            &self,
+            ev: &fade_isa::StackUpdateEvent,
+            state: &mut fade_shadow::MetadataState,
+        ) {
+            self.0.apply_stack_update(ev, state)
+        }
+        fn costs(&self) -> fade_monitors::CostModel {
+            self.0.costs()
+        }
+    }
+
+    /// A panicking monitor becomes one typed error row in declaration
+    /// order; the sibling experiments (including ones claimed later by
+    /// the same worker) still complete.
+    #[test]
+    fn panicking_monitor_is_one_error_row_and_spares_siblings() {
+        let mut registry = MonitorRegistry::builtin();
+        registry.register(|| Box::new(PanicMonitor(fade_monitors::AddrCheck::new())));
+        let mut m = ExperimentMatrix::new()
+            .workers(1) // one worker claims every row: isolation must protect its whole queue
+            .registry(Arc::new(registry));
+        m.push(tiny("mcf", "AddrCheck"));
+        m.push(tiny("gcc", "PanicMonitor"));
+        m.push(tiny("hmmer", "MemCheck"));
+        let result = m.run();
+        assert_eq!(result.outcomes.len(), 3);
+        assert!(result.outcomes[0].is_ok(), "sibling before the panicking row");
+        assert!(result.outcomes[2].is_ok(), "sibling after the panicking row");
+        match &result.outcomes[1] {
+            Err(ExperimentError::Run {
+                label,
+                error: SessionRunError::MonitorPanicked { monitor, payload },
+            }) => {
+                assert!(label.contains("PanicMonitor"), "label: {label}");
+                assert_eq!(monitor, "PanicMonitor");
+                assert!(
+                    payload.contains("deliberate monitor panic"),
+                    "payload: {payload}"
+                );
+            }
+            other => panic!("expected a MonitorPanicked run-error row, got {other:?}"),
+        }
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod regfile;
 pub mod state;
 
 pub use map::MetadataMap;
-pub use memory::ShadowMemory;
+pub use memory::{BudgetExceeded, ShadowCounters, ShadowMemory};
 pub use regfile::RegMeta;
 pub use state::MetadataState;

@@ -39,7 +39,8 @@
 //!     .config(SystemConfig::fade_single_core())
 //!     .build()
 //!     .unwrap()
-//!     .run_measured(20_000, 50_000);
+//!     .run_measured(20_000, 50_000)
+//!     .unwrap();
 //! assert!(report.stats.slowdown() >= 1.0);
 //! ```
 
@@ -54,11 +55,14 @@ pub use config::{Accel, FadeTweaks, SystemConfig, Topology};
 pub use registry::{MonitorFactory, MonitorRegistry, UnknownMonitor};
 pub use run::{ClassInstrs, RunStats, SamplingSummary, UtilBreakdown};
 pub use session::{
-    Engine, MonitorSel, RunReport, Session, SessionBuilder, SessionError, SourceSpec,
+    Engine, MonitorSel, RunReport, Session, SessionBuilder, SessionError, SessionRunError,
+    SourceSpec,
 };
 #[allow(deprecated)]
 pub use system::{run_experiment, run_experiment_mode};
-pub use system::{baseline_cycles, ExecMode, MonitoringSystem, ReplayBuffer, TraceSource};
+pub use system::{
+    baseline_cycles, ExecMode, MonitoringSystem, ReplayBuffer, SourceError, TraceSource,
+};
 pub use throughput::{
     measure_system_throughput, measure_system_throughput_records, measure_throughput,
     measure_throughput_matrix, measure_trace_codec, measure_trace_codec_records,

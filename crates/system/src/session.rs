@@ -34,24 +34,28 @@
 //!     .config(SystemConfig::fade_single_core())
 //!     .build()
 //!     .unwrap()
-//!     .run_measured(10_000, 40_000);
+//!     .run_measured(10_000, 40_000)
+//!     .unwrap();
 //! assert!(report.stats.slowdown() >= 0.8);
 //! assert!(report.stats.sampling.is_some()); // batched timing is sampled
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use fade::{BatchStats, FadeProgram, FadeStats};
 use fade_monitors::Monitor;
-use fade_shadow::MetadataState;
-use fade_trace::{BenchProfile, TraceRecord};
+use fade_shadow::{BudgetExceeded, MetadataState, ShadowCounters};
+use fade_trace::{BenchProfile, DegradationReport, TraceRecord};
 
 use crate::config::{Accel, SystemConfig};
 use crate::registry::{MonitorRegistry, UnknownMonitor};
 use crate::run::RunStats;
-use crate::system::{baseline_cycles, ExecMode, MonitoringSystem, ReplayBuffer, TraceSource};
+use crate::system::{
+    baseline_cycles, ExecMode, MonitoringSystem, ReplayBuffer, SourceError, TraceSource,
+};
 
 /// How a [`Session`] executes its trace.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -277,6 +281,68 @@ impl From<fade_trace::TraceFileError> for SessionError {
     }
 }
 
+/// Why a built [`Session`] failed while *running* (as opposed to
+/// [`SessionError`], which covers construction).
+///
+/// A failed run poisons only its own session: the error is sticky —
+/// every further run call returns it again — but nothing outside the
+/// session (sibling sessions, the experiment matrix, the process) is
+/// affected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionRunError {
+    /// The monitor (or the engine running it) panicked mid-run. The
+    /// panic was caught at the session boundary; the session is
+    /// poisoned, the process lives on.
+    MonitorPanicked {
+        /// Name of the monitor that was driving the session.
+        monitor: String,
+        /// The panic payload, stringified (`&str`/`String` payloads
+        /// verbatim; anything else a placeholder).
+        payload: String,
+    },
+    /// The trace source failed mid-stream with a typed error (clean
+    /// exhaustion is *not* an error — see
+    /// [`Session::source_exhausted`]).
+    Source(SourceError),
+    /// Dirty shadow state exceeded the configured byte cap
+    /// ([`SystemConfig::with_shadow_mem_cap`]) even after lossless
+    /// eviction compressed everything it could.
+    ShadowBudget(BudgetExceeded),
+}
+
+impl std::fmt::Display for SessionRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionRunError::MonitorPanicked { monitor, payload } => {
+                write!(f, "monitor {monitor:?} panicked: {payload}")
+            }
+            SessionRunError::Source(e) => e.fmt(f),
+            SessionRunError::ShadowBudget(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SessionRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionRunError::Source(e) => Some(e),
+            SessionRunError::ShadowBudget(e) => Some(e),
+            SessionRunError::MonitorPanicked { .. } => None,
+        }
+    }
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Builder for [`Session`]: monitor × source × engine × config.
 ///
 /// Defaults: builtin [`MonitorRegistry`], [`Engine::Cycle`],
@@ -291,6 +357,7 @@ pub struct SessionBuilder {
     config: SystemConfig,
     registry: Option<Arc<MonitorRegistry>>,
     program: Option<FadeProgram>,
+    recover: bool,
 }
 
 impl SessionBuilder {
@@ -302,6 +369,7 @@ impl SessionBuilder {
             config: SystemConfig::fade_single_core(),
             registry: None,
             program: None,
+            recover: false,
         }
     }
 
@@ -362,6 +430,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Opens `.fadet` trace-file sources in *recovering* mode: corrupt
+    /// or truncated chunks are skipped with the loss accounted in a
+    /// [`DegradationReport`] (see [`Session::degradation`]) instead of
+    /// failing the whole replay. Bit-exact on fault-free files; no
+    /// effect on non-file sources.
+    pub fn recover_faults(mut self) -> Self {
+        self.recover = true;
+        self
+    }
+
     /// Builds the [`Session`].
     ///
     /// # Errors
@@ -412,7 +490,10 @@ impl SessionBuilder {
                     (bench, Some(Box::new(ReplayBuffer::new(records))))
                 }
                 SourceSpec::TraceFile(path) => {
-                    let reader = fade_trace::TraceReader::open(path)?;
+                    let mut reader = fade_trace::TraceReader::open(path)?;
+                    if self.recover {
+                        reader = reader.with_recovery();
+                    }
                     let name = reader.meta().bench.clone();
                     let bench = fade_trace::bench::by_name(&name)
                         .ok_or(SessionError::UnknownBench(name))?;
@@ -427,6 +508,7 @@ impl SessionBuilder {
             bench,
             engine: self.engine,
             created: Instant::now(),
+            poisoned: None,
         })
     }
 }
@@ -451,6 +533,10 @@ pub struct Session {
     /// When the session was built — the wall-clock epoch of
     /// [`Session::finish`] for manually driven runs.
     created: Instant,
+    /// Sticky run failure: set by the first caught panic, returned by
+    /// every subsequent run call (a panicked engine may hold torn
+    /// state; nothing may run on it again).
+    poisoned: Option<SessionRunError>,
 }
 
 impl Session {
@@ -476,50 +562,94 @@ impl Session {
         self.engine
     }
 
-    /// Runs until `n` more application instructions retire, through
-    /// this session's engine.
-    pub fn run(&mut self, n: u64) {
-        match self.engine.exec_mode() {
-            ExecMode::Cycle => self.sys.run_instrs(n),
-            ExecMode::Batched => self.sys.run_batched(n),
+    /// Runs the given closure on the engine behind the session's panic
+    /// guard: a panic anywhere inside (monitor callbacks included) is
+    /// caught at this boundary, converted to a sticky
+    /// [`SessionRunError::MonitorPanicked`], and never unwinds past the
+    /// session. After a clean return, source failures and shadow-budget
+    /// violations surface as their typed errors.
+    fn guard(&mut self, f: impl FnOnce(&mut MonitoringSystem)) -> Result<(), SessionRunError> {
+        if let Some(p) = &self.poisoned {
+            return Err(p.clone());
         }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut self.sys))) {
+            let err = SessionRunError::MonitorPanicked {
+                monitor: self.sys.monitor().name().to_string(),
+                payload: panic_message(payload.as_ref()),
+            };
+            self.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        if let Some(e) = self.sys.source_error() {
+            return Err(SessionRunError::Source(e.clone()));
+        }
+        if let Some(b) = self.sys.state().mem.budget_exceeded() {
+            return Err(SessionRunError::ShadowBudget(*b));
+        }
+        Ok(())
+    }
+
+    /// Runs until `n` more application instructions retire, through
+    /// this session's engine. Stops early — `Ok`, with
+    /// [`Session::source_exhausted`] set — when a finite trace source
+    /// runs out of records.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionRunError::MonitorPanicked`] if the monitor panicked
+    /// (the session is poisoned from then on),
+    /// [`SessionRunError::Source`] if the trace source failed
+    /// mid-stream, [`SessionRunError::ShadowBudget`] if dirty shadow
+    /// state exceeded the configured byte cap.
+    pub fn run(&mut self, n: u64) -> Result<(), SessionRunError> {
+        let mode = self.engine.exec_mode();
+        self.guard(|sys| match mode {
+            ExecMode::Cycle => sys.run_instrs(n),
+            ExecMode::Batched => sys.run_batched(n),
+        })
     }
 
     /// Runs until *exactly* `n` more application instructions retire
     /// (never overshooting), through this session's engine — the stop
     /// discipline that lets two sessions be compared over an identical
     /// trace prefix.
-    pub fn run_exact(&mut self, n: u64) {
-        match self.engine.exec_mode() {
-            ExecMode::Cycle => self.sys.run_instrs_exact(n),
-            ExecMode::Batched => self.sys.run_batched(n),
-        }
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run`].
+    pub fn run_exact(&mut self, n: u64) -> Result<(), SessionRunError> {
+        let mode = self.engine.exec_mode();
+        self.guard(|sys| match mode {
+            ExecMode::Cycle => sys.run_instrs_exact(n),
+            ExecMode::Batched => sys.run_batched(n),
+        })
     }
 
     /// Runs the monitoring side with the application paused until
     /// nothing is in flight (queues empty, handlers completed).
-    pub fn drain(&mut self) {
-        self.sys.drain();
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run`].
+    pub fn drain(&mut self) -> Result<(), SessionRunError> {
+        self.guard(|sys| sys.drain())
     }
 
     /// The full experiment protocol: warmup, measured window (drained
     /// when batched, so the estimate covers in-flight work), baseline
     /// comparison — everything the paper's figures are made of, plus
     /// the wall-clock cost of producing it.
-    pub fn run_measured(mut self, warmup: u64, measure: u64) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run`].
+    pub fn run_measured(mut self, warmup: u64, measure: u64) -> Result<RunReport, SessionRunError> {
         let start = Instant::now();
-        match self.engine.exec_mode() {
-            ExecMode::Cycle => {
-                self.sys.run_instrs(warmup);
-                self.sys.start_measure();
-                self.sys.run_instrs(measure);
-            }
-            ExecMode::Batched => {
-                self.sys.run_batched(warmup);
-                self.sys.start_measure();
-                self.sys.run_batched(measure);
-                self.sys.drain();
-            }
+        self.run(warmup)?;
+        self.sys.start_measure();
+        self.run(measure)?;
+        if self.engine.exec_mode() == ExecMode::Batched {
+            self.drain()?;
         }
         let cfg = *self.sys.config();
         let baseline = baseline_cycles(&self.bench, cfg.core, cfg.seed, warmup, measure);
@@ -532,21 +662,42 @@ impl Session {
     /// [`Session::run_measured`]. `baseline` must come from
     /// [`baseline_cycles`] for the same benchmark, core and seed; the
     /// report's wall clock covers the session's whole lifetime.
-    pub fn finish(self, baseline: u64) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// The sticky poison of an earlier failed run, or
+    /// [`SessionRunError::MonitorPanicked`] if the monitor's report
+    /// collection itself panics.
+    pub fn finish(self, baseline: u64) -> Result<RunReport, SessionRunError> {
         let start = self.created;
         self.finish_report(baseline, start)
     }
 
-    fn finish_report(self, baseline: u64, start: Instant) -> RunReport {
-        let violations = self.sys.monitor().reports();
-        let batch = self.sys.batch_stats();
+    fn finish_report(self, baseline: u64, start: Instant) -> Result<RunReport, SessionRunError> {
+        if let Some(p) = self.poisoned {
+            return Err(p);
+        }
+        let monitor_name = self.sys.monitor().name().to_string();
+        let degradation = self.sys.degradation().cloned();
+        let sys = self.sys;
         let bench_name = self.bench.name;
-        let stats = self.sys.finish(bench_name, baseline);
-        RunReport {
-            stats,
-            violations,
-            batch,
-            wall_s: start.elapsed().as_secs_f64(),
+        match catch_unwind(AssertUnwindSafe(move || {
+            let violations = sys.monitor().reports();
+            let batch = sys.batch_stats();
+            let stats = sys.finish(bench_name, baseline);
+            (stats, violations, batch)
+        })) {
+            Ok((stats, violations, batch)) => Ok(RunReport {
+                stats,
+                violations,
+                batch,
+                degradation,
+                wall_s: start.elapsed().as_secs_f64(),
+            }),
+            Err(payload) => Err(SessionRunError::MonitorPanicked {
+                monitor: monitor_name,
+                payload: panic_message(payload.as_ref()),
+            }),
         }
     }
 
@@ -608,6 +759,29 @@ impl Session {
     pub fn carried_seed_cycles(&self) -> u64 {
         self.sys.carried_seed_cycles()
     }
+
+    /// `true` once the trace source ran out of records: the last run
+    /// call stopped early with the trace fully consumed (an `Ok`
+    /// outcome — replaying a shorter-than-requested trace is not an
+    /// error).
+    pub fn source_exhausted(&self) -> bool {
+        self.sys.source_exhausted()
+    }
+
+    /// The degradation accounting of a recovering trace-file source
+    /// ([`SessionBuilder::recover_faults`]): chunks skipped, records
+    /// lost, byte offsets. `None` for non-recovering sources; a clean
+    /// report ([`DegradationReport::is_clean`]) on fault-free files.
+    pub fn degradation(&self) -> Option<&DegradationReport> {
+        self.sys.degradation()
+    }
+
+    /// Eviction/compaction statistics of the session's shadow memory
+    /// (all zero without a configured budget — see
+    /// [`SystemConfig::with_shadow_page_budget`]).
+    pub fn shadow_counters(&self) -> ShadowCounters {
+        self.sys.state().mem.counters()
+    }
 }
 
 impl std::fmt::Debug for Session {
@@ -634,6 +808,9 @@ pub struct RunReport {
     /// Fast-path statistics of batched stretches (all zero for the
     /// cycle and unaccelerated engines).
     pub batch: BatchStats,
+    /// Degradation accounting of a recovering trace-file source
+    /// (`None` for non-recovering sources; clean on fault-free files).
+    pub degradation: Option<DegradationReport>,
     /// Wall-clock seconds this run took — what the experiment matrix
     /// aggregates into its sharding speedup.
     pub wall_s: f64,
@@ -657,6 +834,7 @@ pub(crate) fn legacy_experiment(
         .build()
         .unwrap_or_else(|e| panic!("session for {monitor_name} on {}: {e}", bench.name))
         .run_measured(warmup, measure)
+        .unwrap_or_else(|e| panic!("run for {monitor_name} on {}: {e}", bench.name))
         .stats
 }
 
@@ -730,7 +908,7 @@ mod tests {
             .config(SystemConfig::fade_single_core())
             .build()
             .unwrap();
-        s.run(2_000);
+        s.run(2_000).unwrap();
         assert!(s.fade_stats().is_none(), "engine must strip the accelerator");
     }
 
@@ -744,7 +922,7 @@ mod tests {
             .unwrap();
         // A period longer than any trace with a zero window: everything
         // runs batched, nothing is sampled cycle-accurately.
-        s.run(5_000);
+        s.run(5_000).unwrap();
         assert_eq!(s.cycles(), 0, "no cycle-accurate stretch may run");
         assert!(s.batch_stats().events > 0);
     }
@@ -756,7 +934,8 @@ mod tests {
             .source(mcf())
             .build()
             .unwrap()
-            .run_measured(2_000, 8_000);
+            .run_measured(2_000, 8_000)
+            .unwrap();
         // (the cycle engine may overshoot by up to a commit width)
         assert!(r.stats.app_instrs >= 8_000);
         assert!(r.stats.sampling.is_none(), "cycle engine is exact");
@@ -773,7 +952,7 @@ mod tests {
             .source(bench::by_name("hmmer").unwrap())
             .build()
             .unwrap();
-        s.run(2_000);
+        s.run(2_000).unwrap();
         assert_eq!(s.monitor().name(), "AddrCheck");
     }
 }

@@ -45,6 +45,38 @@ const BATCH_CHUNK: u64 = 1024;
 const MIN_TAIL_EVENTS: u64 = 1024;
 
 
+/// Why a [`TraceSource`] stopped delivering records mid-run.
+///
+/// Exhaustion is *not* an error — a source signals it by appending
+/// fewer records than asked (see [`TraceSource::next_records_into`]).
+/// A `SourceError` means the source failed: the bytes behind it went
+/// bad in a way even a recovering reader could not resynchronize past.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SourceError {
+    /// A recorded `.fadet` stream failed with a typed decode or I/O
+    /// error (see [`fade_trace::TraceFileError`]).
+    Trace(fade_trace::TraceFileError),
+    /// Any other source-specific failure.
+    Other(String),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Trace(e) => write!(f, "trace source failed: {e}"),
+            SourceError::Other(msg) => write!(f, "trace source failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<fade_trace::TraceFileError> for SourceError {
+    fn from(e: fade_trace::TraceFileError) -> Self {
+        SourceError::Trace(e)
+    }
+}
+
 /// Where a [`MonitoringSystem`] gets its trace records.
 ///
 /// The engine pulls records in batches; a source appends up to `n`
@@ -58,19 +90,38 @@ const MIN_TAIL_EVENTS: u64 = 1024;
 /// (the parallel experiment driver shards an experiment matrix across
 /// cores; each session owns its source exclusively).
 pub trait TraceSource: Send {
-    /// Appends up to `n` records to `buf`.
+    /// Appends up to `n` records to `buf`, returning how many were
+    /// appended.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the source is exhausted or fails while the engine
-    /// still needs records (the driver asked for more trace than was
-    /// recorded — a harness bug, not a recoverable condition).
-    fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize);
+    /// `Ok(0)` (for `n > 0`) means the source is cleanly exhausted:
+    /// the engine stops pulling and the run ends early with whatever
+    /// trace existed. `Err` means the source failed mid-stream; the
+    /// engine also stops pulling and surfaces the error through
+    /// [`MonitoringSystem::source_error`].
+    fn next_records_into(
+        &mut self,
+        buf: &mut Vec<TraceRecord>,
+        n: usize,
+    ) -> Result<usize, SourceError>;
+
+    /// The degradation accounting of a fault-tolerant source (a
+    /// recovering [`fade_trace::TraceReader`]); `None` for sources
+    /// that cannot degrade.
+    fn degradation(&self) -> Option<&fade_trace::DegradationReport> {
+        None
+    }
 }
 
 impl TraceSource for SyntheticProgram {
-    fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize) {
+    fn next_records_into(
+        &mut self,
+        buf: &mut Vec<TraceRecord>,
+        n: usize,
+    ) -> Result<usize, SourceError> {
         SyntheticProgram::next_records_into(self, buf, n);
+        Ok(n)
     }
 }
 
@@ -94,21 +145,30 @@ impl ReplayBuffer {
 }
 
 impl TraceSource for ReplayBuffer {
-    fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize) {
-        assert!(self.pos < self.records.len(), "replay trace exhausted");
+    fn next_records_into(
+        &mut self,
+        buf: &mut Vec<TraceRecord>,
+        n: usize,
+    ) -> Result<usize, SourceError> {
         let end = (self.pos + n).min(self.records.len());
+        let taken = end - self.pos;
         buf.extend_from_slice(&self.records[self.pos..end]);
         self.pos = end;
+        Ok(taken)
     }
 }
 
 impl<R: std::io::Read + Send> TraceSource for fade_trace::TraceReader<R> {
-    fn next_records_into(&mut self, buf: &mut Vec<TraceRecord>, n: usize) {
-        match fade_trace::TraceReader::next_records_into(self, buf, n) {
-            Ok(0) if n > 0 => panic!("replay trace file exhausted"),
-            Ok(_) => {}
-            Err(e) => panic!("replay trace file failed mid-run: {e}"),
-        }
+    fn next_records_into(
+        &mut self,
+        buf: &mut Vec<TraceRecord>,
+        n: usize,
+    ) -> Result<usize, SourceError> {
+        fade_trace::TraceReader::next_records_into(self, buf, n).map_err(SourceError::Trace)
+    }
+
+    fn degradation(&self) -> Option<&fade_trace::DegradationReport> {
+        fade_trace::TraceReader::degradation(self)
     }
 }
 
@@ -129,11 +189,23 @@ pub enum ExecMode {
     Batched,
 }
 
+/// Lifecycle of the engine's trace source: once a source reports
+/// exhaustion or failure the engine never pulls from it again.
+enum SourceState {
+    /// Still delivering records.
+    Live,
+    /// Cleanly out of records (a finite replay ran to its end).
+    Exhausted,
+    /// Failed mid-stream with a typed error.
+    Failed(SourceError),
+}
+
 /// A complete monitoring system under simulation.
 pub struct MonitoringSystem {
     cfg: SystemConfig,
     monitor: Box<dyn Monitor>,
     source: Box<dyn TraceSource>,
+    source_state: SourceState,
     commit: CommitModel,
     arbiter: SmtArbiter,
     handler: HandlerExec,
@@ -312,6 +384,9 @@ impl MonitoringSystem {
     ) -> Self {
         let mon_program = monitor.program();
         let mut state = MetadataState::new(mon_program.md_map());
+        if cfg.shadow_page_budget.is_some() || cfg.shadow_mem_cap_bytes.is_some() {
+            state.mem.set_budget(cfg.shadow_page_budget, cfg.shadow_mem_cap_bytes);
+        }
         monitor.init_state(&mut state);
         let custom_program = program.is_some();
         if custom_program && cfg.accel == Accel::None {
@@ -357,6 +432,7 @@ impl MonitoringSystem {
         let mut sys = MonitoringSystem {
             monitor,
             source: Box::new(SyntheticProgram::new(bench, cfg.seed)),
+            source_state: SourceState::Live,
             commit: CommitModel::new(cfg.core, bench.commit, Rng::seed_from(cfg.seed ^ 0xbace)),
             arbiter: SmtArbiter::new(),
             handler: HandlerExec::new(cfg.core),
@@ -534,6 +610,66 @@ impl MonitoringSystem {
         self.events_seen
     }
 
+    /// `true` once the trace source reported clean exhaustion: the run
+    /// ended early because the recorded trace ran out, not because a
+    /// target was reached.
+    pub fn source_exhausted(&self) -> bool {
+        matches!(self.source_state, SourceState::Exhausted)
+    }
+
+    /// The typed error the trace source failed with mid-run, if any.
+    /// A failed source stops the engine's run loops the same way
+    /// exhaustion does; the caller decides whether that is fatal.
+    pub fn source_error(&self) -> Option<&SourceError> {
+        match &self.source_state {
+            SourceState::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The degradation accounting of a fault-tolerant source (a
+    /// recovering [`fade_trace::TraceReader`] skipping corrupt
+    /// chunks); `None` for sources that cannot degrade.
+    pub fn degradation(&self) -> Option<&fade_trace::DegradationReport> {
+        self.source.degradation()
+    }
+
+    /// Ensures the record buffer has an unconsumed record, pulling up
+    /// to `n` more from the source if needed. Returns `false` when no
+    /// record is available — the source is exhausted or failed (state
+    /// is latched; a dead source is never pulled again).
+    fn refill_records(&mut self, n: usize) -> bool {
+        if self.record_pos < self.record_buf.len() {
+            return true;
+        }
+        if !matches!(self.source_state, SourceState::Live) {
+            return false;
+        }
+        self.record_buf.clear();
+        self.record_pos = 0;
+        match self.source.next_records_into(&mut self.record_buf, n) {
+            Ok(_) if !self.record_buf.is_empty() => true,
+            Ok(_) => {
+                self.source_state = SourceState::Exhausted;
+                false
+            }
+            Err(e) => {
+                self.source_state = SourceState::Failed(e);
+                false
+            }
+        }
+    }
+
+    /// `true` when the source can feed the engine no further records:
+    /// it is exhausted or failed and every buffered record (including
+    /// a backpressured `pending` one) has been consumed. The run loops
+    /// stop here instead of spinning on an empty trace.
+    fn out_of_records(&self) -> bool {
+        !matches!(self.source_state, SourceState::Live)
+            && self.pending.is_none()
+            && self.record_pos == self.record_buf.len()
+    }
+
     /// Accumulated fast-path statistics of every batched stretch run so
     /// far (all counters zero if only the cycle engine ran).
     pub fn batch_stats(&self) -> BatchStats {
@@ -618,16 +754,25 @@ impl MonitoringSystem {
         self.congestion.take();
     }
 
-    /// Runs until `n` more application instructions retire.
+    /// Runs until `n` more application instructions retire, or the
+    /// trace source runs out of records ([`MonitoringSystem::
+    /// source_exhausted`] / [`MonitoringSystem::source_error`]),
+    /// whichever comes first. On early stop the in-flight events are
+    /// drained so monitor-visible state is complete for the trace that
+    /// did exist.
     ///
     /// # Panics
     ///
-    /// Panics if the system fails to make forward progress (a deadlock
-    /// would be a simulator bug).
+    /// Panics if the system fails to make forward progress with
+    /// records still available (a deadlock would be a simulator bug).
     pub fn run_instrs(&mut self, n: u64) {
         let target = self.total_instrs + n;
         let cycle_cap = self.total_cycles + 200_000 + n * 400;
         while self.total_instrs < target {
+            if self.out_of_records() {
+                self.drain();
+                return;
+            }
             self.step();
             assert!(
                 self.total_cycles < cycle_cap,
@@ -653,6 +798,11 @@ impl MonitoringSystem {
     pub fn run_instrs_exact(&mut self, n: u64) {
         let target = self.total_instrs + n;
         self.run_cycle_exact(target, u64::MAX);
+        if self.out_of_records() {
+            // The trace ended before the target: complete the in-flight
+            // events so the early stop leaves a fully-applied state.
+            self.drain();
+        }
     }
 
     /// Batched execution: retires exactly `n` more application
@@ -702,10 +852,17 @@ impl MonitoringSystem {
             // No batched fast path to take: pure cycle-accurate
             // execution with the exact-stop discipline.
             self.run_cycle_exact(target, u64::MAX);
+            if self.out_of_records() {
+                self.drain();
+            }
             return;
         }
         let batch_len = period - window;
         while self.total_instrs < target {
+            if self.out_of_records() {
+                self.drain();
+                return;
+            }
             let pos = self.events_seen % period;
             if pos < batch_len {
                 if !self.quiesced() {
@@ -891,8 +1048,15 @@ impl MonitoringSystem {
             return;
         }
         self.instr_cap = Some(instr_target);
-        let cycle_cap = self.total_cycles + 200_000 + (instr_target - self.total_instrs) * 400;
+        // Saturating: callers may pass "effectively unbounded" targets
+        // (run-to-exhaustion), which must not overflow the cap math.
+        let cycle_cap = (instr_target - self.total_instrs)
+            .saturating_mul(400)
+            .saturating_add(self.total_cycles + 200_000);
         while self.total_instrs < instr_target && self.events_seen < event_target {
+            if self.out_of_records() {
+                break;
+            }
             self.step();
             assert!(
                 self.total_cycles < cycle_cap,
@@ -916,7 +1080,7 @@ impl MonitoringSystem {
         let chunk_cap = if window > 0 { window } else { BATCH_CHUNK };
         let monitors_stack = self.monitor.monitors_stack();
         let mut budget = event_budget;
-        while budget > 0 && self.total_instrs < instr_target {
+        while budget > 0 && self.total_instrs < instr_target && !self.out_of_records() {
             // ---- Collect one chunk of monitored events. ----
             let mut chunk = std::mem::take(&mut self.batch_buf);
             chunk.clear();
@@ -933,12 +1097,11 @@ impl MonitoringSystem {
                 && (chunk.len() as u64) < cap
                 && self.total_instrs < instr_target
             {
-                if self.record_pos == self.record_buf.len() {
-                    // Larger refills than the cycle engine's: the batch
-                    // path consumes records in bulk.
-                    self.record_buf.clear();
-                    self.source.next_records_into(&mut self.record_buf, 1024);
-                    self.record_pos = 0;
+                // Larger refills than the cycle engine's: the batch
+                // path consumes records in bulk. A dead source cuts
+                // the chunk; the outer loops see `out_of_records`.
+                if !self.refill_records(1024) {
+                    break 'collect;
                 }
                 // Records are consumed in place (no per-record copy out
                 // of the buffer); `record_pos` only advances past a
@@ -1149,7 +1312,13 @@ impl MonitoringSystem {
             while retired < app_slots {
                 let rec = match self.pending.take() {
                     Some(r) => r,
-                    None => self.next_trace_record(),
+                    None => match self.next_trace_record() {
+                        Some(r) => r,
+                        // Out of records: the application side idles
+                        // from here on; the run loops stop once the
+                        // monitoring side quiesces.
+                        None => break,
+                    },
                 };
                 match rec {
                     TraceRecord::Instr(i) => {
@@ -1285,17 +1454,15 @@ impl MonitoringSystem {
     }
 
     /// The next trace record, through the batch-refilled buffer (same
-    /// sequence as calling the generator directly).
-    fn next_trace_record(&mut self) -> TraceRecord {
-        if self.record_pos == self.record_buf.len() {
-            self.record_buf.clear();
-            self.source
-                .next_records_into(&mut self.record_buf, RECORD_BATCH);
-            self.record_pos = 0;
+    /// sequence as calling the generator directly); `None` once the
+    /// source is exhausted or failed.
+    fn next_trace_record(&mut self) -> Option<TraceRecord> {
+        if !self.refill_records(RECORD_BATCH) {
+            return None;
         }
         let r = self.record_buf[self.record_pos];
         self.record_pos += 1;
-        r
+        Some(r)
     }
 
     /// Attempts to hand one event to the monitoring side; a full queue
@@ -1653,6 +1820,7 @@ mod tests {
             .build()
             .expect("paper monitor and profile")
             .run_measured(warmup, measure)
+            .expect("clean synthetic run")
             .stats
     }
 

@@ -43,8 +43,8 @@ fn run_batched(bench_name: &str, monitor: &str, k: u64, w: u64, instrs: u64) -> 
         .with_sample_period(k)
         .with_sample_window(w);
     let mut sys = session(bench_name, monitor, Engine::batched(), &cfg);
-    sys.run(instrs);
-    sys.drain();
+    sys.run(instrs).unwrap();
+    sys.drain().unwrap();
     visible(&sys)
 }
 
@@ -77,8 +77,8 @@ proptest! {
             Engine::Cycle,
             &SystemConfig::fade_single_core(),
         );
-        reference.run_exact(seed_instrs);
-        reference.drain();
+        reference.run_exact(seed_instrs).unwrap();
+        reference.drain().unwrap();
 
         let got = run_batched(bench_name, monitor, k, w, seed_instrs);
         prop_assert_eq!(&got, &visible(&reference));
@@ -101,13 +101,13 @@ proptest! {
             .with_sample_window((k / 4).max(1));
 
         let mut split = session("astar", monitor, Engine::batched(), &cfg);
-        split.run(a);
-        split.run(b_instrs);
-        split.drain();
+        split.run(a).unwrap();
+        split.run(b_instrs).unwrap();
+        split.drain().unwrap();
 
         let mut whole = session("astar", monitor, Engine::batched(), &cfg);
-        whole.run(a + b_instrs);
-        whole.drain();
+        whole.run(a + b_instrs).unwrap();
+        whole.drain().unwrap();
 
         prop_assert_eq!(&visible(&split), &visible(&whole));
     }
@@ -135,14 +135,14 @@ proptest! {
             .with_sample_window((k * w_frac / 4).max(1));
 
         let mut reference = session("gcc", "MemLeak", Engine::Cycle, &SystemConfig::fade_single_core());
-        reference.run_exact(total);
-        reference.drain();
+        reference.run_exact(total).unwrap();
+        reference.drain().unwrap();
 
         let mut sys = session("gcc", "MemLeak", Engine::batched(), &cfg);
         for c in chunks {
-            sys.run(c);
+            sys.run(c).unwrap();
         }
-        sys.drain();
+        sys.drain().unwrap();
         prop_assert!(sys.batch_stats().events > 0, "batched path unused");
         prop_assert_eq!(&visible(&sys), &visible(&reference));
     }
@@ -168,12 +168,12 @@ fn long_congestion_trace_is_not_underestimated() {
         .with_sample_window(2048);
 
     let mut exact = session("gcc", "MemLeak", Engine::Cycle, &cfg);
-    exact.run_exact(150_000);
-    exact.drain();
+    exact.run_exact(150_000).unwrap();
+    exact.drain().unwrap();
 
     let mut batched = session("gcc", "MemLeak", Engine::batched(), &cfg);
-    batched.run(150_000);
-    batched.drain();
+    batched.run(150_000).unwrap();
+    batched.drain().unwrap();
 
     assert!(batched.batch_stats().events > 0, "batched path unused");
     assert!(
@@ -202,11 +202,11 @@ fn window_covering_period_is_pure_cycle_mode() {
         .with_sample_period(256)
         .with_sample_window(512);
     let mut sys = session("mcf", "AddrCheck", Engine::batched(), &cfg);
-    sys.run(10_000);
-    sys.drain();
+    sys.run(10_000).unwrap();
+    sys.drain().unwrap();
     let mut reference = session("mcf", "AddrCheck", Engine::Cycle, &cfg);
-    reference.run_exact(10_000);
-    reference.drain();
+    reference.run_exact(10_000).unwrap();
+    reference.drain().unwrap();
     assert_eq!(sys.cycles(), reference.cycles(), "pure cycle mode is exact");
     assert_eq!(sys.estimated_total_cycles(), sys.cycles());
     assert_eq!(sys.batch_stats().events, 0);

@@ -42,6 +42,7 @@
 
 pub mod bench;
 pub mod codec;
+pub mod faultinject;
 pub mod file;
 pub mod heap;
 pub mod profile;
@@ -49,9 +50,10 @@ pub mod program;
 pub mod value;
 
 pub use bench::{by_name, parallel_suite, spec_int_suite, taint_suite};
+pub use faultinject::{FaultKind, FaultPlan, FaultyReader};
 pub use file::{
-    decode_trace, encode_trace, read_trace_file, write_trace_file, TraceFileError, TraceMeta,
-    TraceReader, TraceWriter,
+    decode_trace, decode_trace_recovering, encode_trace, read_trace_file, write_trace_file,
+    DegradationReport, SkippedChunk, TraceFileError, TraceMeta, TraceReader, TraceWriter,
 };
 pub use heap::HeapModel;
 pub use profile::{BenchProfile, InstrMix};

@@ -1,0 +1,200 @@
+//! Seeded fault-injection sweep over the `.fadet` reader.
+//!
+//! For every `(seed, fault kind)` pair the sweep damages a recorded
+//! trace deterministically and asserts the reader's contract:
+//!
+//! * no injected fault ever panics, in either read mode;
+//! * strict mode never silently corrupts: it returns the original
+//!   records bit-exactly or a typed error;
+//! * recover mode returns a chunk-aligned subsequence of the original
+//!   records, with the loss accounted in the `DegradationReport`;
+//! * transport-only faults (short reads) are fully lossless.
+//!
+//! The sweep width defaults to 256 seeds per kind; override with the
+//! `FAULT_SEEDS` environment variable (CI runs the full sweep in
+//! release mode).
+
+use fade_trace::faultinject::{FaultKind, FaultPlan, FaultyReader};
+use fade_trace::file::decode_trace_recovering;
+use fade_trace::{bench, decode_trace, DegradationReport, SyntheticProgram, TraceMeta, TraceRecord};
+
+const PER_CHUNK: usize = 256;
+
+fn seeds() -> u64 {
+    std::env::var("FAULT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+fn sample_trace() -> (Vec<TraceRecord>, Vec<u8>) {
+    let p = bench::by_name("gcc").unwrap();
+    let mut prog = SyntheticProgram::new(&p, 42);
+    let records: Vec<_> = (0..2_000).map(|_| prog.next_record()).collect();
+    let mut w = fade_trace::TraceWriter::new(Vec::new(), &TraceMeta::new("gcc", 42))
+        .unwrap()
+        .with_chunk_records(PER_CHUNK);
+    w.write_all(&records).unwrap();
+    let bytes = w.finish().unwrap();
+    (records, bytes)
+}
+
+/// `recovered` must be a concatenation of a subset of the original
+/// writer chunks, in order — recovery drops whole chunks, never
+/// reorders or invents records.
+fn is_chunk_subsequence(recovered: &[TraceRecord], original: &[TraceRecord]) -> bool {
+    let chunks: Vec<&[TraceRecord]> = original.chunks(PER_CHUNK).collect();
+    let mut pos = 0;
+    let mut ci = 0;
+    while pos < recovered.len() {
+        let mut matched = false;
+        while ci < chunks.len() {
+            let c = chunks[ci];
+            ci += 1;
+            if recovered[pos..].starts_with(c) {
+                pos += c.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return false;
+        }
+    }
+    true
+}
+
+fn check_accounting(
+    ctx: &str,
+    recovered: &[TraceRecord],
+    report: &DegradationReport,
+    original: &[TraceRecord],
+) {
+    assert!(
+        is_chunk_subsequence(recovered, original),
+        "{ctx}: recovered records are not a chunk-aligned subsequence"
+    );
+    if report.is_clean() {
+        assert_eq!(recovered, original, "{ctx}: clean report but altered records");
+    }
+    let lost = original.len() as u64 - recovered.len() as u64;
+    if report.trailer_verified {
+        assert_eq!(
+            report.records_lost, lost,
+            "{ctx}: trailer-verified loss accounting is exact"
+        );
+    } else {
+        assert!(
+            report.records_lost <= lost,
+            "{ctx}: best-effort loss accounting is a lower bound ({} > {lost})",
+            report.records_lost
+        );
+        assert!(
+            report.truncated_tail || !report.faults.is_empty(),
+            "{ctx}: unverified trailer must be accounted"
+        );
+    }
+    if lost > 0 {
+        assert!(
+            !report.faults.is_empty(),
+            "{ctx}: {lost} records lost with no fault recorded"
+        );
+    }
+}
+
+#[test]
+fn fault_sweep_never_panics_or_silently_corrupts() {
+    let (records, bytes) = sample_trace();
+    let n = seeds();
+    for kind in FaultKind::ALL {
+        for seed in 0..n {
+            let plan = FaultPlan::seeded(seed, kind, bytes.len() as u64);
+            let ctx = format!("{kind:?} seed {seed} (plan {plan:?})");
+
+            // Strict mode over the faulty transport: typed error or
+            // bit-exact records, never a panic, never silent damage.
+            let strict = fade_trace::TraceReader::new(FaultyReader::new(&bytes[..], plan))
+                .and_then(|mut r| r.read_all());
+            match (kind, &strict) {
+                (FaultKind::ShortRead, got) => {
+                    assert_eq!(
+                        got.as_ref().expect("short reads are lossless"),
+                        &records,
+                        "{ctx}"
+                    );
+                }
+                (_, Ok(got)) => assert_eq!(got, &records, "{ctx}: silent corruption"),
+                (_, Err(_)) => {}
+            }
+
+            // Recover mode: same transport, but chunk faults are
+            // skipped and accounted.
+            let recover = fade_trace::TraceReader::new(FaultyReader::new(&bytes[..], plan))
+                .map(|r| r.with_recovery())
+                .and_then(|mut r| {
+                    let recs = r.read_all()?;
+                    Ok((recs, r.degradation().cloned().unwrap()))
+                });
+            match (kind, recover) {
+                (FaultKind::ShortRead, got) => {
+                    let (recs, report) = got.expect("short reads are lossless");
+                    assert_eq!(recs, records, "{ctx}");
+                    assert!(report.is_clean(), "{ctx}: {report:?}");
+                }
+                (FaultKind::IoError, got) => {
+                    // A dying transport is an environment failure, not
+                    // data corruption: typed, in both modes.
+                    match got {
+                        Err(fade_trace::TraceFileError::Io(_)) => {}
+                        Err(other) => panic!("{ctx}: expected Io error, got {other:?}"),
+                        Ok((recs, report)) => {
+                            // The fault offset can land in bytes the
+                            // reader never needs (nothing after the
+                            // trailer exists, so this means the fault
+                            // hit exactly at end-of-stream).
+                            assert_eq!(recs, records, "{ctx}");
+                            assert!(report.is_clean(), "{ctx}: {report:?}");
+                        }
+                    }
+                }
+                (_, Ok((recs, report))) => check_accounting(&ctx, &recs, &report, &records),
+                // Header faults are not recoverable: still typed.
+                (_, Err(_)) => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_sweep_is_deterministic() {
+    let (_, bytes) = sample_trace();
+    for kind in FaultKind::ALL {
+        for seed in 0..16 {
+            let plan = FaultPlan::seeded(seed, kind, bytes.len() as u64);
+            let run = || {
+                fade_trace::TraceReader::new(FaultyReader::new(&bytes[..], plan))
+                    .map(|r| r.with_recovery())
+                    .and_then(|mut r| {
+                        let recs = r.read_all()?;
+                        Ok((recs, r.degradation().cloned().unwrap()))
+                    })
+            };
+            match (run(), run()) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("nondeterministic outcome: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_fault_modes_agree_bit_exactly() {
+    let (records, bytes) = sample_trace();
+    let (_, strict) = decode_trace(&bytes).unwrap();
+    let (_, recovered, report) = decode_trace_recovering(&bytes).unwrap();
+    assert_eq!(strict, records);
+    assert_eq!(recovered, records);
+    assert!(report.is_clean());
+    assert!(report.trailer_verified);
+}

@@ -152,8 +152,8 @@ fn main() {
         .config(cfg)
         .build()
         .expect("a registered monitor and a freshly recorded trace");
-    session.run_exact(instrs);
-    session.drain();
+    session.run_exact(instrs).unwrap();
+    session.drain().unwrap();
 
     println!("\nSealCheck on omnet with periodic region seals");
     println!(

@@ -39,9 +39,11 @@ fn main() {
     };
     let unaccel = session_for(SystemConfig::unaccelerated_single_core())
         .run_measured(warm, measure)
+        .unwrap()
         .stats;
     let fade = session_for(SystemConfig::fade_single_core())
         .run_measured(warm, measure)
+        .unwrap()
         .stats;
 
     println!("application IPC (unmonitored): {:.2}", fade.app_ipc());

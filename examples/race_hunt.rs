@@ -28,7 +28,7 @@ fn main() {
         .config(SystemConfig::fade_single_core())
         .build()
         .unwrap();
-    sys.run(400_000);
+    sys.run(400_000).unwrap();
 
     let reports = sys.monitor().reports();
     println!(

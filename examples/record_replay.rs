@@ -49,8 +49,8 @@ fn main() {
         .config(cfg)
         .build()
         .unwrap();
-    live.run_exact(INSTRS);
-    live.drain();
+    live.run_exact(INSTRS).unwrap();
+    live.drain().unwrap();
 
     // ---- Replay: stream the file back through the batched engine. The
     // benchmark profile comes from the file's own header metadata.
@@ -61,8 +61,8 @@ fn main() {
         .config(cfg)
         .build()
         .unwrap();
-    replay.run_exact(INSTRS);
-    replay.drain();
+    replay.run_exact(INSTRS).unwrap();
+    replay.drain().unwrap();
 
     println!(
         "live:   {} events, {} violations",

@@ -65,6 +65,7 @@ fn main() {
         .build()
         .unwrap()
         .run_measured(30_000, 200_000)
+        .unwrap()
         .stats;
     println!("full workload (astar with taint sources):");
     println!("  filtering ratio: {:.1}%", 100.0 * stats.filtering_ratio());

@@ -28,7 +28,8 @@
 //!     .config(SystemConfig::fade_single_core())
 //!     .build()
 //!     .unwrap()
-//!     .run_measured(10_000, 40_000);
+//!     .run_measured(10_000, 40_000)
+//!     .unwrap();
 //! println!(
 //!     "slowdown {:.2}x, filtering ratio {:.1}%",
 //!     report.stats.slowdown(),
@@ -56,10 +57,11 @@ pub mod prelude {
     pub use fade_system::{
         measure_system_throughput, measure_trace_codec, record_trace_prefix, Engine, ExecMode,
         MonitorRegistry, MonitoringSystem, ReplayBuffer, RunReport, RunStats, Session,
-        SessionBuilder, SessionError, SystemConfig, TraceSource,
+        SessionBuilder, SessionError, SessionRunError, SourceError, SystemConfig, TraceSource,
     };
     pub use fade_trace::{
-        bench, read_trace_file, write_trace_file, BenchProfile, SyntheticProgram, TraceMeta,
-        TraceReader, TraceRecord, TraceWriter,
+        bench, read_trace_file, write_trace_file, BenchProfile, DegradationReport, FaultKind,
+        FaultPlan, FaultyReader, SkippedChunk, SyntheticProgram, TraceMeta, TraceReader,
+        TraceRecord, TraceWriter,
     };
 }

@@ -1,0 +1,75 @@
+//! Bounded-memory differential suite: for every monitor × benchmark of
+//! its suite, a run under a shadow-page budget of **half** the
+//! unbounded run's peak must be bit-exact in every monitor-visible way
+//! — same metadata, same violations, same accelerator counters — while
+//! the eviction counters prove the budget actually bit (demotions
+//! happened; this is not a budget so loose it never fired).
+//!
+//! This is the acceptance test for the bounded shadow state: eviction
+//! and compaction are *lossless* representations, not data loss.
+
+use fade_repro::prelude::*;
+
+mod common;
+use common::{assert_monitor_visible_equal, suite_for};
+
+const INSTRS: u64 = 30_000;
+
+fn run(b: &BenchProfile, monitor: &str, cfg: SystemConfig) -> Session {
+    let mut s = Session::builder()
+        .monitor(monitor)
+        .source(b)
+        .config(cfg)
+        .build()
+        .unwrap_or_else(|e| panic!("{monitor}/{}: {e}", b.name));
+    s.run_exact(INSTRS)
+        .unwrap_or_else(|e| panic!("{monitor}/{}: {e}", b.name));
+    s.drain().unwrap_or_else(|e| panic!("{monitor}/{}: {e}", b.name));
+    s
+}
+
+#[test]
+fn half_peak_budget_is_bit_exact_with_eviction_proof() {
+    let mut exercised = 0u32;
+    for monitor in ["AddrCheck", "AtomCheck", "MemCheck", "MemLeak", "TaintCheck"] {
+        for b in suite_for(monitor) {
+            let what = format!("{monitor}/{}", b.name);
+            let cfg = SystemConfig::fade_single_core();
+
+            let unbounded = run(&b, monitor, cfg);
+            let peak = unbounded.shadow_counters().peak_full_pages;
+            assert!(peak > 0, "{what}: workload never materialized a shadow page?");
+
+            // Half the unbounded peak (floored, min 1): the budget the
+            // acceptance criteria demand.
+            let budget = (peak / 2).max(1);
+            let bounded = run(&b, monitor, cfg.with_shadow_page_budget(budget));
+
+            assert_monitor_visible_equal(&unbounded, &bounded, &what);
+
+            let c = bounded.shadow_counters();
+            assert!(
+                c.peak_full_pages <= budget,
+                "{what}: bounded run exceeded its budget ({} > {budget})",
+                c.peak_full_pages
+            );
+            // Only demand eviction proof where the budget can actually
+            // bind (a two-page workload halved to one page must evict;
+            // a one-page workload has nothing to demote).
+            if peak >= 2 {
+                assert!(
+                    c.evictions + c.compactions > 0,
+                    "{what}: budget {budget} of peak {peak} never fired \
+                     (evictions {} + compactions {})",
+                    c.evictions,
+                    c.compactions
+                );
+                exercised += 1;
+            }
+        }
+    }
+    assert!(
+        exercised > 0,
+        "no workload had a peak of >= 2 pages — the suite proved nothing"
+    );
+}

@@ -47,8 +47,8 @@ fn run(bench: &BenchProfile, monitor: &str, cfg: &SystemConfig, instrs: u64, bat
         .config(*cfg)
         .build()
         .unwrap_or_else(|e| panic!("{monitor}/{}: {e}", bench.name));
-    sys.run_exact(instrs);
-    sys.drain();
+    sys.run_exact(instrs).unwrap();
+    sys.drain().unwrap();
     sys
 }
 

@@ -1,0 +1,229 @@
+//! Golden corrupt-fixture suite for the recovering `.fadet` reader.
+//!
+//! Each fixture is the committed byte-stable `tests/golden/trace_gcc.fadet`
+//! with one deterministic fault applied — a flipped payload bit, a cut
+//! mid-chunk, a cut inside the trailer, and a garbaged header — and the
+//! suite pins, byte for byte and field for field, both the corrupt
+//! bytes themselves and the exact [`DegradationReport`] the recovering
+//! reader produces for them. Any drift in resynchronization behavior
+//! (chunks skipped, records lost, bytes scanned, fault offsets) fails
+//! here before it can silently change replay results in the field.
+//!
+//! To regenerate after an *intentional* format or recovery change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release -p fade-repro --test golden_recovery
+//! ```
+//!
+//! then review the fixture diffs like any other code change. (Regenerate
+//! `trace_gcc.fadet` first — via `--test golden_trace` — if the base
+//! encoding changed too.)
+
+use std::path::PathBuf;
+
+use fade_repro::trace::file::{decode_trace, decode_trace_recovering};
+use fade_repro::trace::{DegradationReport, TraceRecord};
+
+fn golden_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/repro; the golden files live in the
+    // repository-root tests/ directory next to this test's source.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn base_bytes() -> Vec<u8> {
+    let path = golden_dir().join("trace_gcc.fadet");
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing base golden trace {} ({e}); create it first with \
+             UPDATE_GOLDEN=1 cargo test -p fade-repro --test golden_trace",
+            path.display()
+        )
+    })
+}
+
+/// One committed corruption: how to derive it from the clean bytes.
+struct Fixture {
+    /// Fixture file stem under `tests/golden/`.
+    name: &'static str,
+    /// Applies the deterministic fault to a copy of the clean bytes.
+    corrupt: fn(Vec<u8>) -> Vec<u8>,
+}
+
+const FIXTURES: &[Fixture] = &[
+    // One flipped bit in the middle of the stream: lands inside a chunk
+    // payload, so that chunk fails its CRC and is skipped.
+    Fixture {
+        name: "trace_gcc_bitflip",
+        corrupt: |mut b| {
+            let off = b.len() / 2;
+            b[off] ^= 1 << 3;
+            b
+        },
+    },
+    // Cut mid-chunk: the final chunk ends mid-structure and the trailer
+    // is gone entirely.
+    Fixture {
+        name: "trace_gcc_trunc_chunk",
+        corrupt: |mut b| {
+            b.truncate(b.len() * 3 / 4);
+            b
+        },
+    },
+    // Cut inside the 13-byte trailer (marker + count:u64 + crc:u32):
+    // every chunk survives, only end-of-stream verification is lost.
+    Fixture {
+        name: "trace_gcc_trunc_trailer",
+        corrupt: |mut b| {
+            b.truncate(b.len() - 8);
+            b
+        },
+    },
+    // Garbage magic: recovery cannot help a file that never identifies
+    // itself — this one must *fail typed*, not degrade.
+    Fixture {
+        name: "trace_gcc_garbage_header",
+        corrupt: |mut b| {
+            b[..4].copy_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+            b
+        },
+    },
+];
+
+/// The committed corrupt bytes must stay derivable from the committed
+/// clean fixture — the two cannot drift apart.
+#[test]
+fn corrupt_fixtures_match_their_derivation() {
+    let base = base_bytes();
+    for f in FIXTURES {
+        let derived = (f.corrupt)(base.clone());
+        let path = golden_dir().join(format!("{}.fadet", f.name));
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&path, &derived).expect("write corrupt fixture");
+            eprintln!("updated {} ({} bytes)", path.display(), derived.len());
+            continue;
+        }
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing corrupt fixture {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )
+        });
+        assert!(
+            committed == derived,
+            "{}: committed corrupt fixture no longer matches its derivation \
+             from trace_gcc.fadet ({} committed vs {} derived bytes); \
+             regenerate with UPDATE_GOLDEN=1 and review the diff",
+            f.name,
+            committed.len(),
+            derived.len()
+        );
+    }
+}
+
+/// The corrupt bytes for one fixture, re-derived from the clean base
+/// (the derivation test pins the committed file to exactly these bytes,
+/// and deriving here keeps the tests order-independent under
+/// `UPDATE_GOLDEN`).
+fn corrupt_bytes(name: &str) -> Vec<u8> {
+    let f = FIXTURES
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("unknown fixture {name}"));
+    (f.corrupt)(base_bytes())
+}
+
+/// Decodes one corrupt fixture in recover mode and pins the exact
+/// `DegradationReport` (Debug-formatted) against its committed golden.
+fn check_report(name: &str) -> (Vec<TraceRecord>, DegradationReport) {
+    let bytes = corrupt_bytes(name);
+    let (_, records, report) =
+        decode_trace_recovering(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let rendered = format!("{report:#?}\n");
+    let path = golden_dir().join(format!("{name}.report.txt"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden report");
+        eprintln!("updated {}", path.display());
+    } else {
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden report {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )
+        });
+        assert!(
+            golden == rendered,
+            "{name}: DegradationReport drifted from the golden fixture.\n\
+             --- golden ---\n{golden}\n--- current ---\n{rendered}"
+        );
+    }
+    (records, report)
+}
+
+/// `true` if `sub` appears in `full` in order (records survive faults
+/// only as a subsequence of the clean stream — never reordered, never
+/// invented).
+fn is_subsequence(sub: &[TraceRecord], full: &[TraceRecord]) -> bool {
+    let mut it = full.iter();
+    sub.iter().all(|r| it.any(|f| f == r))
+}
+
+#[test]
+fn bitflip_skips_one_chunk_and_accounts_for_it() {
+    let (clean_meta, clean) = decode_trace(&base_bytes()).expect("clean fixture decodes");
+    let (records, report) = check_report("trace_gcc_bitflip");
+    assert_eq!(report.chunks_skipped, 1, "one flipped bit kills exactly one chunk");
+    assert!(report.trailer_verified, "the trailer is untouched");
+    assert!(!report.truncated_tail);
+    assert_eq!(
+        records.len() as u64 + report.records_lost,
+        clean.len() as u64,
+        "verified trailer makes the loss accounting exact"
+    );
+    assert!(is_subsequence(&records, &clean), "survivors keep stream order");
+    assert_eq!(clean_meta.bench, "gcc");
+}
+
+#[test]
+fn truncated_chunk_loses_the_tail_with_accounting() {
+    let (_, clean) = decode_trace(&base_bytes()).expect("clean fixture decodes");
+    let (records, report) = check_report("trace_gcc_trunc_chunk");
+    assert!(report.truncated_tail, "the stream ends mid-chunk");
+    assert!(!report.trailer_verified, "the trailer was cut off");
+    assert!(report.chunks_skipped >= 1);
+    assert!(records.len() < clean.len());
+    assert_eq!(records[..], clean[..records.len()], "survivors are a clean prefix");
+}
+
+#[test]
+fn truncated_trailer_keeps_every_record() {
+    let (_, clean) = decode_trace(&base_bytes()).expect("clean fixture decodes");
+    let (records, report) = check_report("trace_gcc_trunc_trailer");
+    assert_eq!(records, clean, "every chunk survives a trailer-only cut");
+    assert!(report.truncated_tail, "but the end of stream is unverified");
+    assert!(!report.trailer_verified);
+    assert_eq!(report.records_lost, 0);
+}
+
+#[test]
+fn garbage_header_fails_typed_even_in_recover_mode() {
+    let bytes = corrupt_bytes("trace_gcc_garbage_header");
+    match decode_trace_recovering(&bytes) {
+        Err(fade_repro::trace::TraceFileError::BadMagic) => {}
+        other => panic!(
+            "a file that never identifies itself must fail BadMagic, got {other:?}"
+        ),
+    }
+}
+
+/// The zero-fault base fixture through the recovering reader: bit-exact
+/// records and a clean report — recovery mode costs nothing when
+/// nothing is wrong.
+#[test]
+fn clean_fixture_recovering_is_bit_exact_and_clean() {
+    let bytes = base_bytes();
+    let (meta_s, strict) = decode_trace(&bytes).expect("strict decode");
+    let (meta_r, recovered, report) = decode_trace_recovering(&bytes).expect("recovering decode");
+    assert_eq!(meta_s, meta_r);
+    assert_eq!(strict, recovered, "zero-fault recovery is bit-exact");
+    assert!(report.is_clean(), "no faults -> clean report: {report:?}");
+}

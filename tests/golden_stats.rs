@@ -63,8 +63,8 @@ fn snapshot_one(bench_name: &str, monitor: &str, out: &mut String) {
         .config(cfg)
         .build()
         .unwrap();
-    sys.run(INSTRS);
-    sys.drain();
+    sys.run(INSTRS).unwrap();
+    sys.drain().unwrap();
 
     let f = sys.fade_stats().expect("FADE config");
     let bs = sys.batch_stats();

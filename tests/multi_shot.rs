@@ -32,12 +32,12 @@ fn multi_shot_is_functionally_identical_and_costs_shots() {
             .config(cfg)
             .build()
             .unwrap();
-        sys.run(warm);
+        sys.run(warm).unwrap();
         sys.start_measure();
-        sys.run(meas);
+        sys.run(meas).unwrap();
         let base = baseline_cycles(&b, cfg.core, cfg.seed, warm, meas);
         let fp = fingerprint(&sys);
-        (sys.finish(base).stats, fp)
+        (sys.finish(base).unwrap().stats, fp)
     };
 
     let single_mon = MemCheck::new();

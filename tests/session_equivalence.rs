@@ -102,6 +102,7 @@ fn session_matches_run_experiment_mode_everywhere() {
                     .build()
                     .unwrap()
                     .run_measured(WARM, MEAS)
+                    .unwrap()
                     .stats;
                 assert_stats_identical(
                     &legacy,
@@ -141,8 +142,8 @@ fn session_matches_from_records() {
                 .config(cfg())
                 .build()
                 .unwrap();
-            session.run_exact(instrs);
-            session.drain();
+            session.run_exact(instrs).unwrap();
+            session.drain().unwrap();
 
             assert_monitor_visible_equal(
                 &legacy,
@@ -184,8 +185,8 @@ fn session_matches_from_trace_file() {
             .config(cfg())
             .build()
             .unwrap();
-        session.run_exact(instrs);
-        session.drain();
+        session.run_exact(instrs).unwrap();
+        session.drain().unwrap();
 
         assert_monitor_visible_equal(
             &legacy,
@@ -219,8 +220,8 @@ fn session_matches_with_source() {
         .config(cfg())
         .build()
         .unwrap();
-    session.run_exact(instrs);
-    session.drain();
+    session.run_exact(instrs).unwrap();
+    session.drain().unwrap();
 
     assert_monitor_visible_equal(&legacy, &session, "MemCheck/mcf with_source");
 }
@@ -244,8 +245,8 @@ fn session_matches_with_monitor_and_with_program() {
         .config(cfg())
         .build()
         .unwrap();
-    session.run_exact(20_000);
-    session.drain();
+    session.run_exact(20_000).unwrap();
+    session.drain().unwrap();
     assert_monitor_visible_equal(&legacy, &session, "MemLeak/gcc with_monitor");
     assert_eq!(legacy.cycles(), session.cycles(), "with_monitor timing");
 
@@ -265,8 +266,8 @@ fn session_matches_with_monitor_and_with_program() {
         .config(cfg())
         .build()
         .unwrap();
-    session.run_exact(20_000);
-    session.drain();
+    session.run_exact(20_000).unwrap();
+    session.drain().unwrap();
     assert_monitor_visible_equal(&legacy, &session, "MemCheck/gcc with_program");
     assert_eq!(legacy.cycles(), session.cycles(), "with_program timing");
 }

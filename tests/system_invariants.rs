@@ -25,6 +25,7 @@ fn run_experiment(
         .build()
         .unwrap()
         .run_measured(warmup, measure)
+        .unwrap()
         .stats
 }
 
@@ -89,8 +90,8 @@ fn blocking_and_non_blocking_agree_functionally() {
             monitor,
             &SystemConfig::fade_single_core().with_mode(FilterMode::Blocking),
         );
-        nb.run(50_000);
-        blk.run(50_000);
+        nb.run(50_000).unwrap();
+        blk.run(50_000).unwrap();
         assert_eq!(
             state_fingerprint(&nb),
             state_fingerprint(&blk),
@@ -111,8 +112,8 @@ fn fade_and_software_agree_functionally() {
     for monitor in ["AddrCheck", "MemCheck", "MemLeak", "TaintCheck"] {
         let mut hw = session(&b, monitor, &SystemConfig::fade_single_core());
         let mut sw = session(&b, monitor, &SystemConfig::unaccelerated_single_core());
-        hw.run(50_000);
-        sw.run(50_000);
+        hw.run(50_000).unwrap();
+        sw.run(50_000).unwrap();
         assert_eq!(
             state_fingerprint(&hw),
             state_fingerprint(&sw),

@@ -54,8 +54,8 @@ fn run_live(b: &BenchProfile, monitor: &str, instrs: u64) -> Session {
         .config(cfg())
         .build()
         .unwrap();
-    sys.run_exact(instrs);
-    sys.drain();
+    sys.run_exact(instrs).unwrap();
+    sys.drain().unwrap();
     sys
 }
 
@@ -74,8 +74,8 @@ fn run_replay(
         .config(cfg())
         .build()
         .unwrap();
-    sys.run_exact(instrs);
-    sys.drain();
+    sys.run_exact(instrs).unwrap();
+    sys.drain().unwrap();
     sys
 }
 
@@ -151,7 +151,7 @@ fn streamed_file_replay_matches_live() {
         .config(cfg())
         .build()
         .unwrap();
-    streamed.run_exact(SWEEP_INSTRS);
-    streamed.drain();
+    streamed.run_exact(SWEEP_INSTRS).unwrap();
+    streamed.drain().unwrap();
     assert_monitor_visible_equal(&live, &streamed, "MemLeak/gcc streamed file replay");
 }
