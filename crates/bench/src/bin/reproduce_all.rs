@@ -29,8 +29,8 @@ use std::path::{Path, PathBuf};
 use fade_bench::experiments as ex;
 use fade_bench::{drain_timings, MatrixTiming};
 use fade_system::{
-    measure_system_throughput_records, measure_throughput_matrix, measure_trace_codec_records,
-    record_trace_prefix, SystemConfig,
+    measure_synthetic_filterable, measure_system_throughput_records, measure_throughput_matrix,
+    measure_trace_codec_records, record_trace_prefix, SystemConfig,
 };
 use fade_trace::{bench, read_trace_file, write_trace_file, TraceMeta, TraceRecord};
 
@@ -39,39 +39,60 @@ use fade_trace::{bench, read_trace_file, write_trace_file, TraceMeta, TraceRecor
 const PIPELINE_POINTS: [(&str, &str); 2] = [("hmmer", "AddrCheck"), ("gcc", "MemLeak")];
 const BATCH_SIZES: [usize; 4] = [1, 8, 32, 256];
 const PIPELINE_EVENTS: u64 = 200_000;
+/// Batch size of the synthetic all-filterable row (the SoA acceptance
+/// point).
+const SYNTHETIC_BATCH: usize = 32;
+
+/// One pipeline row in the v6 schema: the v5 fields plus the
+/// vectorized (SoA block) engine's rate and its speedup over the
+/// scalar batched loop.
+fn pipeline_row(r: &fade_system::ThroughputReport) -> String {
+    println!(
+        "  {}/{} batch {:>3}: {:>6.2} Mev/s batched, {:>6.2} Mev/s vectorized, {:>6.2} Mev/s per-event ({:.2}x vec, {:.0}% fast path)",
+        r.benchmark,
+        r.monitor,
+        r.batch_size,
+        r.batched_rate() / 1e6,
+        r.vectorized_rate() / 1e6,
+        r.per_event_rate() / 1e6,
+        r.vector_speedup(),
+        100.0 * r.fast_path_fraction(),
+    );
+    format!(
+        concat!(
+            "    {{\"benchmark\": \"{}\", \"monitor\": \"{}\", \"batch_size\": {}, ",
+            "\"events\": {}, \"events_per_sec_batched\": {:.0}, ",
+            "\"events_per_sec_vectorized\": {:.0}, ",
+            "\"events_per_sec_per_event\": {:.0}, \"speedup\": {:.3}, ",
+            "\"vector_speedup\": {:.3}, ",
+            "\"fast_path_fraction\": {:.4}, \"filtering_ratio\": {:.4}}}"
+        ),
+        r.benchmark,
+        r.monitor,
+        r.batch_size,
+        r.events,
+        r.batched_rate(),
+        r.vectorized_rate(),
+        r.per_event_rate(),
+        r.speedup(),
+        r.vector_speedup(),
+        r.fast_path_fraction(),
+        r.fade.filtering_ratio(),
+    )
+}
 
 fn pipeline_json() -> String {
     let mut rows = Vec::new();
     for (bench_name, monitor) in PIPELINE_POINTS {
         let b = bench::by_name(bench_name).unwrap();
         for r in measure_throughput_matrix(&b, monitor, &BATCH_SIZES, PIPELINE_EVENTS) {
-            let batch = r.batch_size;
-            println!(
-                "  {bench_name}/{monitor} batch {batch:>3}: {:>6.2} Mev/s batched, {:>6.2} Mev/s per-event ({:.2}x, {:.0}% fast path)",
-                r.batched_rate() / 1e6,
-                r.per_event_rate() / 1e6,
-                r.speedup(),
-                100.0 * r.fast_path_fraction(),
-            );
-            rows.push(format!(
-                concat!(
-                    "    {{\"benchmark\": \"{}\", \"monitor\": \"{}\", \"batch_size\": {}, ",
-                    "\"events\": {}, \"events_per_sec_batched\": {:.0}, ",
-                    "\"events_per_sec_per_event\": {:.0}, \"speedup\": {:.3}, ",
-                    "\"fast_path_fraction\": {:.4}, \"filtering_ratio\": {:.4}}}"
-                ),
-                r.benchmark,
-                r.monitor,
-                r.batch_size,
-                r.events,
-                r.batched_rate(),
-                r.per_event_rate(),
-                r.speedup(),
-                r.fast_path_fraction(),
-                r.fade.filtering_ratio(),
-            ));
+            rows.push(pipeline_row(&r));
         }
     }
+    // The all-filterable synthetic stream: the vector kernel's best
+    // case, and the acceptance point for the SoA speedup target.
+    let synth = measure_synthetic_filterable(SYNTHETIC_BATCH, PIPELINE_EVENTS);
+    rows.push(pipeline_row(&synth));
     rows.join(",\n")
 }
 
@@ -361,7 +382,7 @@ fn main() {
     let system_rows = system_json(replay_dir.as_deref(), prefixes);
     let matrix_rows = matrix_json(&matrix_rows);
     let json = format!(
-        "{{\n  \"schema\": \"fade-pipeline-throughput/v5\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"trace_results\": [\n{trace_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ],\n  \"matrix_results\": [\n{matrix_rows}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"fade-pipeline-throughput/v6\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"trace_results\": [\n{trace_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ],\n  \"matrix_results\": [\n{matrix_rows}\n  ]\n}}\n",
     );
     let path = "BENCH_pipeline.json";
     match std::fs::write(path, &json) {

@@ -255,7 +255,7 @@ impl BatchStats {
 /// index is `line % min(MD_WINDOW_SLOTS, sets)`, so two lines of the
 /// same cache set always collide in the window and a stale "line X is
 /// at MRU of its set" entry can never survive a same-set access).
-const MD_WINDOW_SLOTS: usize = 8;
+pub(crate) const MD_WINDOW_SLOTS: usize = 8;
 
 /// Hot-path context for [`Fade::run_batch`].
 ///
@@ -271,19 +271,28 @@ const MD_WINDOW_SLOTS: usize = 8;
 /// would bump the hit counter and leave the LRU order unchanged. Any
 /// cycle-accurate `tick` invalidates the MRU fields.
 #[derive(Clone, Copy, Debug, Default)]
-struct BatchCtx {
+pub(crate) struct BatchCtx {
     /// Event ID the decoded plan below describes.
-    plan_id: Option<EventId>,
+    pub(crate) plan_id: Option<EventId>,
     /// The plan's entry has no multi-shot continuation.
-    plan_single_shot: bool,
+    pub(crate) plan_single_shot: bool,
     /// The plan's entry has a memory operand (Metadata Read stage does
     /// one M-TLB + one MD-cache access).
-    plan_has_mem: bool,
+    pub(crate) plan_has_mem: bool,
     /// Application page number at the M-TLB's MRU slot.
-    mru_page: Option<u32>,
+    pub(crate) mru_page: Option<u32>,
     /// Metadata lines known to sit at the MRU way of their MD-cache
     /// set, keyed by `line % min(MD_WINDOW_SLOTS, sets)`.
-    md_window: [Option<u64>; MD_WINDOW_SLOTS],
+    pub(crate) md_window: [Option<u64>; MD_WINDOW_SLOTS],
+    /// Adaptive-gate state for the vectorized kernel: consecutive
+    /// partially-retired blocks seen so far. Persists across batch
+    /// calls so the gate can learn stream behaviour even when the
+    /// driver submits small batches. Heuristic only — never affects
+    /// results, just which (bit-exact) path runs.
+    pub(crate) vec_poor: u32,
+    /// Remaining block-sized chunks to route through the scalar loop
+    /// before the vectorized kernel probes again.
+    pub(crate) vec_cooloff: u32,
 }
 
 impl BatchCtx {
@@ -335,19 +344,19 @@ enum FaState {
 /// The FADE accelerator.
 pub struct Fade {
     config: FadeConfig,
-    program: FadeProgram,
-    event_q: BoundedQueue<AppEvent>,
-    ufq: BoundedQueue<UnfilteredEvent>,
-    fsq: Fsq,
-    md_cache: TagCache,
+    pub(crate) program: FadeProgram,
+    pub(crate) event_q: BoundedQueue<AppEvent>,
+    pub(crate) ufq: BoundedQueue<UnfilteredEvent>,
+    pub(crate) fsq: Fsq,
+    pub(crate) md_cache: TagCache,
     md_l2: TagCache,
-    tlb: MdTlb,
+    pub(crate) tlb: MdTlb,
     suu: StackUpdateUnit,
     state: FaState,
-    outstanding: Vec<u64>,
+    pub(crate) outstanding: Vec<u64>,
     next_token: u64,
-    stats: FadeStats,
-    batch: BatchCtx,
+    pub(crate) stats: FadeStats,
+    pub(crate) batch: BatchCtx,
 }
 
 impl std::fmt::Debug for Fade {
@@ -631,7 +640,7 @@ impl Fade {
     /// pipeline, fast-path when its metadata structures are warm) when
     /// the decoded plan allows it, tier B (the full pipeline stages
     /// without queue churn) for multi-shot chains and unknown events.
-    fn batch_instr<F>(
+    pub(crate) fn batch_instr<F>(
         &mut self,
         ev: &InstrEvent,
         st: &mut MetadataState,
@@ -762,8 +771,8 @@ impl Fade {
     /// indexing [`TagCache`] applies internally, kept in one place so
     /// the tier-A MRU check can never drift from the cache geometry.
     #[inline]
-    fn md_line(&self, md_addr: u64) -> u64 {
-        md_addr / self.md_cache.config().line_bytes as u64
+    pub(crate) fn md_line(&self, md_addr: u64) -> u64 {
+        md_addr >> self.md_cache.config().line_shift()
     }
 
     /// The MD-window slot a cache line maps to. The slot count divides
@@ -771,8 +780,8 @@ impl Fade {
     /// always share a slot and a same-set access can never leave a
     /// stale MRU claim behind in another slot.
     #[inline]
-    fn md_window_slot(&self, line: u64) -> usize {
-        let sets = self.md_cache.config().sets() as u64;
+    pub(crate) fn md_window_slot(&self, line: u64) -> usize {
+        let sets = self.md_cache.set_count() as u64;
         (line & (sets.min(MD_WINDOW_SLOTS as u64) - 1)) as usize
     }
 
@@ -795,7 +804,7 @@ impl Fade {
 
     /// Runs the cycle-accurate loop (with an always-ready consumer)
     /// until the accelerator quiesces.
-    fn settle_batch<F>(&mut self, st: &mut MetadataState, out: &mut BatchStats, consumer: &mut F)
+    pub(crate) fn settle_batch<F>(&mut self, st: &mut MetadataState, out: &mut BatchStats, consumer: &mut F)
     where
         F: FnMut(UnfilteredEvent, &mut MetadataState),
     {
@@ -1016,7 +1025,12 @@ impl Fade {
 
     /// Metadata Read stage: fetch the three operands' metadata, masked,
     /// observing the FSQ before the MD cache (non-blocking forwarding).
-    fn fetch_operands(&self, entry: &EventTableEntry, ev: &InstrEvent, st: &MetadataState) -> OperandMeta {
+    pub(crate) fn fetch_operands(
+        &self,
+        entry: &EventTableEntry,
+        ev: &InstrEvent,
+        st: &MetadataState,
+    ) -> OperandMeta {
         let read = |sel: OperandSel| -> u64 {
             let rule = entry.operand(sel);
             if !rule.valid {

@@ -41,6 +41,12 @@ impl TagCacheConfig {
     pub const fn sets(&self) -> u32 {
         self.size_bytes / (self.ways * self.line_bytes)
     }
+
+    /// `log2(line_bytes)` — the address-to-line shift. Valid because
+    /// [`TagCache::new`] rejects non-power-of-two line sizes.
+    pub const fn line_shift(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
 }
 
 /// Hit/miss counters.
@@ -109,13 +115,20 @@ impl TagCache {
         }
     }
 
+    /// Set index and tag for `addr` — all shifts and masks: line size
+    /// and set count are powers of two by construction.
+    #[inline]
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.config.line_shift();
+        let set_bits = self.sets.len().trailing_zeros();
+        ((line as usize) & (self.sets.len() - 1), line >> set_bits)
+    }
+
     /// Accesses the line containing `addr`; returns `true` on hit. On a
     /// miss the line is filled (allocate-on-miss for reads and writes:
     /// metadata is write-back, write-allocate).
     pub fn access(&mut self, addr: u64) -> bool {
-        let line = addr / self.config.line_bytes as u64;
-        let set_idx = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
+        let (set_idx, tag) = self.locate(addr);
         let set = &mut self.sets[set_idx];
         if let Some(pos) = set.iter().position(|&t| t == tag) {
             let t = set.remove(pos);
@@ -142,29 +155,31 @@ impl TagCache {
     pub fn record_mru_hit(&mut self, addr: u64) {
         #[cfg(debug_assertions)]
         {
-            let line = addr / self.config.line_bytes as u64;
-            let set_idx = (line % self.sets.len() as u64) as usize;
-            let tag = line / self.sets.len() as u64;
+            let (set_idx, tag) = self.locate(addr);
             debug_assert_eq!(self.sets[set_idx].first(), Some(&tag));
         }
         let _ = addr;
         self.stats.hits += 1;
     }
 
+    /// Records `n` hits for addresses known to sit at the MRU way of
+    /// their sets — the bulk-retire form of [`TagCache::record_mru_hit`]
+    /// (recency order is already correct, so only the counter moves).
+    #[inline]
+    pub fn record_mru_hits(&mut self, n: u64) {
+        self.stats.hits += n;
+    }
+
     /// Probes without updating LRU state or statistics.
     pub fn probe(&self, addr: u64) -> bool {
-        let line = addr / self.config.line_bytes as u64;
-        let set_idx = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
+        let (set_idx, tag) = self.locate(addr);
         self.sets[set_idx].contains(&tag)
     }
 
     /// Installs the line containing `addr` without counting an access
     /// (used by the SUU, whose writes stream through the cache).
     pub fn fill(&mut self, addr: u64) {
-        let line = addr / self.config.line_bytes as u64;
-        let set_idx = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
+        let (set_idx, tag) = self.locate(addr);
         let set = &mut self.sets[set_idx];
         if let Some(pos) = set.iter().position(|&t| t == tag) {
             let t = set.remove(pos);
@@ -175,6 +190,13 @@ impl TagCache {
             }
             set.insert(0, tag);
         }
+    }
+
+    /// Number of sets (a power of two), without recomputing the
+    /// geometry division.
+    #[inline]
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
     }
 
     /// Accumulated hit/miss statistics.

@@ -1,0 +1,870 @@
+//! Vectorized tier-A filtering over structure-of-arrays event blocks.
+//!
+//! The scalar batch loop ([`Fade::run_batch`]) walks one instruction
+//! event at a time through the inline single-shot pipeline. This module
+//! restructures that hot path around [`EventBlock`]s: up to
+//! [`BLOCK_LANES`] decoded events whose fields live in separate lane
+//! arrays, so the filter decision becomes data-parallel —
+//!
+//! 1. **Plan phase** (`Fade::block_plan`): every lane's event ID is
+//!    resolved against the event table once per distinct ID (streams
+//!    are bursty, so this is usually one lookup per block). Blocks with
+//!    an unknown ID, a multi-shot chain or a partial-tag entry are
+//!    ineligible and take the scalar path unchanged.
+//! 2. **Warm phase** (`Fade::warm_sim_mask`): bitmask M-TLB/MD-window
+//!    matching by *forward simulation*. Walking the memory lanes in
+//!    order against a copy of the batch context, a lane is warm when
+//!    its page and metadata line match the (simulated) MRU window;
+//!    a cold lane installs its page/line into the copy exactly as the
+//!    scalar loop's real access would, so lanes behind a one-off miss
+//!    still predict warm. The simulation is exact as long as no lane
+//!    dispatches (see below), reads no metadata, and moves no LRU
+//!    state.
+//! 3. **Verdict phase** (`Fade::swar_verdict_mask`): for clean-check
+//!    lanes with byte-wide operand rules, operand bytes are gathered
+//!    per lane, packed eight lanes to a `u64`, and compared against the
+//!    per-lane rule target with SWAR byte-equality detection
+//!    ([`eq_byte_lanes`]) — one XOR + mask per eight events instead of
+//!    eight branchy scalar evaluations. Uniform-ID blocks broadcast a
+//!    single rule (`Fade::swar_verdict_uniform`); mixed blocks of up
+//!    to a few distinct IDs digest each lane's rule into per-lane
+//!    mask/target bytes (`Fade::swar_verdict_mixed`). Blocks whose
+//!    rules are wider than a byte fall back to the sequential
+//!    `Fade::filtered_prefix` scan.
+//! 4. **Retire loop** (`Fade::run_block`): the warm **and** filtered
+//!    run starting at the current lane retires in bulk
+//!    (`Fade::bulk_retire`) with exactly the counter increments the
+//!    scalar loop would make (MRU hits carry no LRU motion); the next
+//!    lane — cold or unfiltered — replays through the scalar
+//!    `Fade::batch_instr`, and the loop repeats. Lane masks are
+//!    computed once per block and recomputed only after a lane
+//!    *dispatches*: a bulk retire moves no state the masks depend on,
+//!    a cold-but-filtered scalar replay performs exactly the
+//!    MRU-context update the warm simulation predicted, and only a
+//!    dispatch (metadata write, consumer callback, or a pipeline tick
+//!    dropping the MRU context) can invalidate either mask.
+//!
+//! Fully-uniform blocks skip the generic loop for a fused
+//! plan+warm+verdict pass (`Fade::uniform_retired`) that touches each
+//! lane once.
+//!
+//! Because the vectorized path only ever (a) bulk-retires runs it has
+//! proven warm and filtered, using the same per-event accounting as
+//! the scalar loop, or (b) delegates lanes to the scalar loop itself,
+//! [`FadeStats`](crate::FadeStats), [`BatchStats`], the metadata state,
+//! every cache/TLB counter and the dispatched-event stream come out
+//! bit-identical to [`Fade::run_batch_with`] for any event sequence,
+//! any monitor program and both dispatch modes. `tests/` holds the
+//! differential harness that enforces this monitor × suite.
+//!
+//! ## Adaptive gate
+//!
+//! Block vectorization pays off when blocks retire whole; on streams
+//! with persistently poor MRU-window locality (page-alternating
+//! access patterns) the SoA decode and lane passes are overhead over
+//! the scalar loop. [`Fade::run_batch_vectorized_with`] therefore
+//! tracks consecutive partially-retired blocks and, past a short
+//! streak, routes the next stretch of events through the scalar loop
+//! directly before probing with a block again. The gate state lives in
+//! the batch context so it persists across driver calls; it is purely
+//! a throughput heuristic — both routes are bit-exact, so it never
+//! shows up in results.
+//!
+//! ## Metadata reads and recency
+//!
+//! Shadow-memory reads never change metadata *values* (representation
+//! demotions are lossless and reads never fault pages in), but they do
+//! refresh page recency. The vectorized path keeps its read pattern
+//! nearly identical to the scalar one — the SWAR gather touches the
+//! same lanes the scalar loop would, in lane order, and the sequential
+//! verdict path stops at the first unfiltered lane exactly like the
+//! scalar loop. The one divergence: lanes at or past an unfiltered
+//! SWAR verdict are re-read by their scalar replay (the gathered bytes
+//! are discarded, never reused across a dispatch), which can only
+//! refresh recency on values that are then re-fetched identically.
+
+use fade_isa::{AppEvent, EventBlock, EventId, VirtAddr, BLOCK_LANES};
+use fade_shadow::MetadataState;
+
+use crate::event_table::{FilterKind, OperandSel};
+use crate::fade::{BatchStats, Fade, UnfilteredEvent};
+use crate::filter_logic::evaluate_shot;
+
+const LANE_LO: u64 = 0x0101_0101_0101_0101;
+const LANE_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Replicates a byte into all eight lanes of a `u64`.
+#[inline]
+pub fn broadcast8(b: u8) -> u64 {
+    b as u64 * LANE_LO
+}
+
+/// Packs up to eight bytes into a `u64`, byte `i` in lane `i` (bits
+/// `8i..8i+8`); missing lanes are zero.
+#[inline]
+pub fn pack8(bytes: &[u8]) -> u64 {
+    debug_assert!(bytes.len() <= 8);
+    let mut w = 0u64;
+    for (i, &b) in bytes.iter().enumerate() {
+        w |= (b as u64) << (8 * i);
+    }
+    w
+}
+
+/// Lane bitmask (bits `0..8`) of the zero bytes of `w`.
+///
+/// Uses the borrow-safe formulation `HI & !(w | ((w | HI) - LO))`: the
+/// textbook `(w - LO) & !w & HI` lets a borrow out of a zero byte fake
+/// a hit in the byte above it (e.g. `0x0100` flags both lanes). Setting
+/// the high bit before subtracting confines each lane's borrow.
+#[inline]
+pub fn zero_byte_lanes(w: u64) -> u64 {
+    let z = LANE_HI & !(w | ((w | LANE_HI).wrapping_sub(LANE_LO)));
+    // Gather the per-byte high bits down to bits 0..8.
+    (z >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56
+}
+
+/// Lane bitmask (bits `0..8`) of the bytes of `w` equal to the
+/// corresponding byte of `t`.
+#[inline]
+pub fn eq_byte_lanes(w: u64, t: u64) -> u64 {
+    zero_byte_lanes(w ^ t)
+}
+
+/// What the vectorized kernel would decide about a block, without
+/// running it — the probe surface the property tests compare against
+/// per-event scalar verdicts.
+///
+/// Monitor-visible state (metadata values, counters, LRU order) is
+/// untouched; computing `verdict_mask` reads shadow metadata, which
+/// refreshes page recency only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockProbe {
+    /// The block passed the plan phase: every lane's ID has a
+    /// single-shot, non-partial event-table entry.
+    pub eligible: bool,
+    /// Bit `i` set when lane `i` passes the bitmask M-TLB/MD-window
+    /// match (non-memory lanes are trivially warm). Zero when
+    /// ineligible.
+    pub warm_mask: u64,
+    /// Bit `i` set when lane `i`'s filter condition holds (the lane
+    /// would be filtered). Zero when ineligible.
+    pub verdict_mask: u64,
+}
+
+/// Per-block plan: table facts shared by every kernel phase.
+struct BlockPlan {
+    /// Bit `i` set when lane `i`'s entry has a memory operand.
+    mem_mask: u64,
+    /// Metadata addresses of the memory lanes (garbage elsewhere).
+    md_addrs: [u64; BLOCK_LANES],
+    /// All lanes carry this event ID (SWAR verdict precondition).
+    uniform_id: Option<EventId>,
+}
+
+impl Fade {
+    /// [`Fade::run_batch`] over the vectorized SoA kernel: groups runs
+    /// of consecutive instruction events into [`EventBlock`]s of up to
+    /// `width` lanes and filters each block data-parallel, with the
+    /// scalar single-shot pipeline as the per-lane fallback for blocks
+    /// containing any miss or unfilterable event. Bit-identical results
+    /// to [`Fade::run_batch`] — stats, metadata, LRU order, stalls and
+    /// [`BatchStats`] all match.
+    pub fn run_batch_vectorized(
+        &mut self,
+        events: &[AppEvent],
+        st: &mut MetadataState,
+        width: usize,
+    ) -> BatchStats {
+        self.run_batch_vectorized_with(events, st, width, |_, _| {})
+    }
+
+    /// [`Fade::run_batch_vectorized`] with a dispatched-event consumer,
+    /// mirroring [`Fade::run_batch_with`].
+    pub fn run_batch_vectorized_with<F>(
+        &mut self,
+        events: &[AppEvent],
+        st: &mut MetadataState,
+        width: usize,
+        mut consumer: F,
+    ) -> BatchStats
+    where
+        F: FnMut(UnfilteredEvent, &mut MetadataState),
+    {
+        assert!(
+            self.outstanding.is_empty(),
+            "run_batch requires every previously dispatched handler to be completed"
+        );
+        let mut out = BatchStats::default();
+        if !self.is_idle() {
+            self.settle_batch(st, &mut out, &mut consumer);
+        }
+        let mut block = EventBlock::new(width);
+        // Adaptive gate: block vectorization only pays off when blocks
+        // retire (nearly) whole — the fixed SoA decode and lane-pass
+        // overhead outweighs the per-lane saving as soon as a few lanes
+        // fall back to scalar replay, as they persistently do on
+        // low-locality streams (page-alternating access, poor
+        // MRU-window coverage). After `POOR_STREAK` consecutive
+        // partially-retired blocks, the next `COOLOFF_BLOCKS`
+        // block-sized chunks run the scalar loop directly, then one
+        // block probes again. The counters live in [`BatchCtx`] so the
+        // gate keeps learning across calls even when the driver submits
+        // small batches. Routing is invisible in results — both paths
+        // are bit-exact — so this only moves the throughput floor up to
+        // the scalar loop's.
+        const POOR_STREAK: u32 = 2;
+        const COOLOFF_BLOCKS: u32 = 1024;
+        let mut i = 0;
+        while i < events.len() {
+            match &events[i] {
+                AppEvent::Instr(_) => {
+                    if self.batch.vec_cooloff > 0 {
+                        self.batch.vec_cooloff -= 1;
+                        let mut lanes = 0;
+                        while i < events.len() && lanes < width {
+                            let AppEvent::Instr(iev) = &events[i] else { break };
+                            out.events += 1;
+                            self.batch_instr(iev, st, &mut out, &mut consumer);
+                            i += 1;
+                            lanes += 1;
+                        }
+                        continue;
+                    }
+                    block.clear();
+                    while i < events.len() {
+                        let AppEvent::Instr(iev) = &events[i] else { break };
+                        if !block.push(iev) {
+                            break;
+                        }
+                        i += 1;
+                    }
+                    out.events += block.len() as u64;
+                    let retired = self.run_block(&block, st, &mut out, &mut consumer);
+                    if retired < block.len() {
+                        self.batch.vec_poor += 1;
+                        if self.batch.vec_poor >= POOR_STREAK {
+                            self.batch.vec_cooloff = COOLOFF_BLOCKS;
+                            self.batch.vec_poor = 0;
+                        }
+                    } else {
+                        self.batch.vec_poor = 0;
+                    }
+                }
+                other => {
+                    out.events += 1;
+                    out.fallback += 1;
+                    self.event_q
+                        .push(*other)
+                        .expect("event queue is drained between batch events");
+                    self.settle_batch(st, &mut out, &mut consumer);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Filters one block: bulk-retires warm, filtered lane runs and
+    /// replays the remaining lanes through the scalar tier-A loop.
+    /// Returns the number of lanes retired in bulk (the adaptive gate's
+    /// quality signal).
+    fn run_block<F>(
+        &mut self,
+        block: &EventBlock,
+        st: &mut MetadataState,
+        out: &mut BatchStats,
+        consumer: &mut F,
+    ) -> usize
+    where
+        F: FnMut(UnfilteredEvent, &mut MetadataState),
+    {
+        debug_assert!(self.is_idle() && self.ufq.is_empty() && self.fsq.is_empty());
+        let len = block.len();
+        let ids = block.ids();
+        let uniform = ids.iter().all(|&r| r == ids[0]);
+        let mut i = if uniform {
+            self.uniform_retired(EventId::new(ids[0]), block, st, out)
+        } else {
+            0
+        };
+        let mut vec_retired = i;
+        if i < len {
+            // Run-retire loop: alternate bulk-retiring the warm and
+            // filtered run that starts at lane `i` with one scalar
+            // event. A bulk retire moves no LRU or window state, so a
+            // warm mask computed at the top of an iteration stays valid
+            // across the whole run it retires; the scalar event (a cold
+            // or unfiltered lane) performs its real accesses — warming
+            // the MRU window for the lanes behind it — after which the
+            // next iteration re-derives warmth and verdicts from the
+            // updated state. This is bit-exact with the scalar loop by
+            // induction over lanes, and turns a single mid-block
+            // metadata-line transition from a full-block bailout into
+            // one scalar event between two vectorized runs.
+            let plan = self.block_plan(block);
+            // Both lane masks survive scalar replays of non-dispatching
+            // lanes: the warm mask is a forward simulation that already
+            // accounts for the MRU-context updates cold lanes make, and
+            // SWAR verdicts depend only on metadata, registers and
+            // invariants — which only a dispatch (metadata write, or
+            // the consumer, which owns the metadata state, or a
+            // pipeline tick that drops the MRU context) can change. So
+            // the masks are computed once and recomputed only after a
+            // dispatching lane.
+            let mut warm = 0u64;
+            let mut verdict: Option<u64> = None;
+            let mut masks_valid = false;
+            loop {
+                if let Some(plan) = &plan {
+                    if !masks_valid {
+                        warm = self.warm_sim_mask(block, plan, i);
+                        verdict = self.swar_verdict_mask(block, plan, i, st);
+                        masks_valid = true;
+                    }
+                    let p = match verdict {
+                        Some(v) => ((!((warm & v) >> i)).trailing_zeros() as usize).min(len - i),
+                        None => {
+                            let run =
+                                ((!(warm >> i)).trailing_zeros() as usize).min(len - i);
+                            self.filtered_prefix(block, plan, i, st).min(run)
+                        }
+                    };
+                    if p > 0 {
+                        self.bulk_retire(block, plan, i, p, out);
+                        i += p;
+                        vec_retired += p;
+                    }
+                }
+                if i >= len {
+                    break;
+                }
+                let ev = block.lane(i);
+                let dispatched = out.dispatched;
+                self.batch_instr(&ev, st, out, consumer);
+                if out.dispatched != dispatched {
+                    masks_valid = false;
+                }
+                i += 1;
+            }
+        }
+        vec_retired
+    }
+
+    /// Fused plan+warm pass for the dominant block shape — every lane
+    /// carries the same event ID (streams are bursty, so nearly all
+    /// blocks look like this). One table lookup covers the block, and a
+    /// single pass per lane computes the metadata address and the
+    /// MRU-window match, bailing to the scalar path at the first cold
+    /// or ineligible lane — before any metadata has been read. Decision
+    /// (and every counter) is identical to the phased
+    /// [`Fade::block_plan`]/[`Fade::warm_mask`] pipeline; this is the
+    /// same computation with the per-phase lane loops fused.
+    fn uniform_retired(
+        &mut self,
+        id: EventId,
+        block: &EventBlock,
+        st: &MetadataState,
+        out: &mut BatchStats,
+    ) -> usize {
+        let Some(entry) = self.program.table().entry(id) else {
+            return 0;
+        };
+        if entry.next_entry.is_some() || entry.partial {
+            return 0;
+        }
+        let has_mem = OperandSel::ALL
+            .iter()
+            .any(|&s| entry.operand(s).valid && entry.operand(s).mem);
+        let mut plan = BlockPlan {
+            mem_mask: 0,
+            md_addrs: [0u64; BLOCK_LANES],
+            uniform_id: Some(id),
+        };
+        if has_mem {
+            let Some(mru_page) = self.batch.mru_page else {
+                return 0;
+            };
+            let line_shift = self.md_cache.config().line_shift();
+            let slot_mask =
+                (self.md_cache.set_count() as u64).min(crate::fade::MD_WINDOW_SLOTS as u64) - 1;
+            let map = self.program.md_map();
+            let addrs = block.addrs();
+            for (i, &raw) in addrs.iter().enumerate().take(block.len()) {
+                let a = VirtAddr::new(raw);
+                if a.page() != mru_page {
+                    return 0;
+                }
+                let md = map.md_addr(a);
+                let line = md >> line_shift;
+                if self.batch.md_window[(line & slot_mask) as usize] != Some(line) {
+                    return 0;
+                }
+                plan.md_addrs[i] = md;
+            }
+            plan.mem_mask = block.full_mask();
+        }
+        let p = self.filtered_prefix(block, &plan, 0, st);
+        if p > 0 {
+            self.bulk_retire(block, &plan, 0, p, out);
+        }
+        p
+    }
+
+    /// Plan phase: resolves every lane's event ID against the table
+    /// (memoized per distinct ID). `None` when any lane has no entry, a
+    /// multi-shot continuation or a partial tag — those need the scalar
+    /// loop's dispatch machinery.
+    fn block_plan(&self, block: &EventBlock) -> Option<BlockPlan> {
+        let ids = block.ids();
+        let addrs = block.addrs();
+        let mut mem_mask = 0u64;
+        let mut md_addrs = [0u64; BLOCK_LANES];
+        let mut memo: Option<(u8, bool)> = None;
+        let mut uniform = true;
+        for (i, &raw) in ids.iter().enumerate() {
+            uniform &= raw == ids[0];
+            let has_mem = match memo {
+                Some((id, hm)) if id == raw => hm,
+                _ => {
+                    let e = self.program.table().entry(EventId::new(raw))?;
+                    if e.next_entry.is_some() || e.partial {
+                        return None;
+                    }
+                    let hm = OperandSel::ALL
+                        .iter()
+                        .any(|&s| e.operand(s).valid && e.operand(s).mem);
+                    memo = Some((raw, hm));
+                    hm
+                }
+            };
+            if has_mem {
+                mem_mask |= 1 << i;
+                md_addrs[i] = self.program.md_map().md_addr(VirtAddr::new(addrs[i]));
+            }
+        }
+        Some(BlockPlan {
+            mem_mask,
+            md_addrs,
+            uniform_id: uniform.then(|| EventId::new(ids[0])),
+        })
+    }
+
+    /// Warm phase: lane bitmask of events whose metadata access provably
+    /// hits at the MRU of both the M-TLB and its MD-cache set. Pure —
+    /// reads only the batch context, never the caches. Bits below
+    /// `start` (already-retired lanes) are not computed and undefined.
+    fn warm_mask(&self, block: &EventBlock, plan: &BlockPlan, start: usize) -> u64 {
+        // Lanes without a memory operand skip the Metadata Read stage
+        // entirely, so they are trivially warm.
+        let mut warm = block.full_mask() & !plan.mem_mask;
+        let Some(mru_page) = self.batch.mru_page else {
+            return warm;
+        };
+        let mut rest = plan.mem_mask & (u64::MAX << start);
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let page_ok = VirtAddr::new(block.addrs()[i]).page() == mru_page;
+            let line = self.md_line(plan.md_addrs[i]);
+            let line_ok = self.batch.md_window[self.md_window_slot(line)] == Some(line);
+            warm |= ((page_ok & line_ok) as u64) << i;
+        }
+        warm
+    }
+
+    /// Forward-simulated warm mask: bit `i` set when lane `i`'s
+    /// metadata access will provably hit at the MRU of both the M-TLB
+    /// and its MD-cache set *at the time the run-retire loop reaches
+    /// it*. Unlike [`Fade::warm_mask`] (a snapshot against the current
+    /// context, the probe surface), this walks the lanes front to back
+    /// carrying a copy of the MRU context and applies the exact update
+    /// a cold lane's scalar replay will make — install its page and
+    /// line at MRU — so one pass predicts the whole block's warm/cold
+    /// pattern. The prediction holds until some lane dispatches (a
+    /// dispatch can tick the pipeline, which drops the MRU context);
+    /// the run-retire loop recomputes it then.
+    fn warm_sim_mask(&self, block: &EventBlock, plan: &BlockPlan, start: usize) -> u64 {
+        let mut warm = block.full_mask() & !plan.mem_mask;
+        let mut mru_page = self.batch.mru_page;
+        let mut window = self.batch.md_window;
+        let addrs = block.addrs();
+        let mut rest = plan.mem_mask & (u64::MAX << start);
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let page = VirtAddr::new(addrs[i]).page();
+            let line = self.md_line(plan.md_addrs[i]);
+            let slot = self.md_window_slot(line);
+            if mru_page == Some(page) && window[slot] == Some(line) {
+                warm |= 1 << i;
+            } else {
+                mru_page = Some(page);
+                window[slot] = Some(line);
+            }
+        }
+        warm
+    }
+
+    /// Verdict phase: length of the filtered run from lane `start` —
+    /// the number of consecutive lanes whose condition holds. SWAR for
+    /// byte-wide clean checks, sequential scalar evaluation otherwise
+    /// (stopping at the first unfiltered lane, exactly like the scalar
+    /// loop).
+    fn filtered_prefix(
+        &self,
+        block: &EventBlock,
+        plan: &BlockPlan,
+        start: usize,
+        st: &MetadataState,
+    ) -> usize {
+        if let Some(verdict) = self.swar_verdict_mask(block, plan, start, st) {
+            return ((!(verdict >> start)).trailing_zeros() as usize).min(block.len() - start);
+        }
+        for i in start..block.len() {
+            if !self.lane_filtered(block, plan, i, st) {
+                return i - start;
+            }
+        }
+        block.len() - start
+    }
+
+    /// Scalar verdict for one lane: operand fetch + shot evaluation,
+    /// identical to tier A's filter decision.
+    fn lane_filtered(
+        &self,
+        block: &EventBlock,
+        _plan: &BlockPlan,
+        i: usize,
+        st: &MetadataState,
+    ) -> bool {
+        let ev = block.lane(i);
+        let entry = self.program.table().entry(ev.id).expect("plan implies an entry");
+        let ops = self.fetch_operands(entry, &ev, st);
+        evaluate_shot(entry, &ops, self.program.invariants()).condition_holds
+    }
+
+    /// SWAR verdict over the whole block: `Some(mask)` (bit `i` = lane
+    /// `i` filtered) when every lane's entry is a clean check whose
+    /// valid operand rules are all byte-wide (memory operands read one
+    /// metadata byte, masks fit in a byte). Uniform-ID blocks broadcast
+    /// one mask/invariant pair; mixed-ID blocks (e.g. interleaved
+    /// load/store checks) build per-lane mask and target words from a
+    /// small per-ID digest. Either way each operand gathers its
+    /// per-lane bytes, packs eight lanes per `u64` and compares in one
+    /// XOR.
+    /// Bits below `start` (already-retired lanes, never read) are
+    /// undefined; metadata is gathered only for lanes `start..`.
+    fn swar_verdict_mask(
+        &self,
+        block: &EventBlock,
+        plan: &BlockPlan,
+        start: usize,
+        st: &MetadataState,
+    ) -> Option<u64> {
+        match plan.uniform_id {
+            Some(id) => self.swar_verdict_uniform(id, block, plan, start, st),
+            None => self.swar_verdict_mixed(block, plan, start, st),
+        }
+    }
+
+    /// [`Fade::swar_verdict_mask`] for uniform-ID blocks: one table
+    /// entry covers every lane, so the operand mask and invariant
+    /// target are block-wide broadcasts.
+    fn swar_verdict_uniform(
+        &self,
+        id: EventId,
+        block: &EventBlock,
+        plan: &BlockPlan,
+        start: usize,
+        st: &MetadataState,
+    ) -> Option<u64> {
+        let entry = self.program.table().entry(id).expect("plan implies an entry");
+        if entry.kind != FilterKind::CleanCheck {
+            return None;
+        }
+        for &sel in OperandSel::ALL.iter() {
+            let rule = entry.operand(sel);
+            if rule.valid && (rule.mask > 0xff || (rule.mem && rule.md_bytes != 1)) {
+                return None;
+            }
+        }
+        let n = block.len();
+        let mut verdict = block.full_mask();
+        for &sel in OperandSel::ALL.iter() {
+            let rule = entry.operand(sel);
+            // Invalid operands and rules without an invariant always
+            // pass a clean check; skip the gather.
+            let (true, Some(inv_id)) = (rule.valid, rule.inv_id) else {
+                continue;
+            };
+            let mask_w = broadcast8(rule.mask as u8);
+            let target = broadcast8((self.program.invariants().read(inv_id) & rule.mask) as u8);
+            let mut bytes = [0u8; BLOCK_LANES];
+            if rule.mem {
+                st.mem.gather_u8(&plan.md_addrs[start..n], &mut bytes[start..n]);
+            } else {
+                let regs = match sel {
+                    OperandSel::S1 => block.src1s(),
+                    OperandSel::S2 => block.src2s(),
+                    OperandSel::D => block.dests(),
+                };
+                for (i, b) in bytes[start..n].iter_mut().enumerate() {
+                    *b = st.regs.read(fade_isa::Reg::new(regs[start + i]));
+                }
+            }
+            // Unoccupied lanes of `bytes` are zero, so each 8-lane word
+            // can load straight out of the array; the chunk mask keeps
+            // tail lanes from clearing verdict bits. The operand mask
+            // is applied SWAR-wide rather than per byte.
+            let mut base = start & !7;
+            while base < n {
+                let lanes = (n - base).min(8);
+                let w = u64::from_le_bytes(bytes[base..base + 8].try_into().expect("8-byte chunk"))
+                    & mask_w;
+                let eq = eq_byte_lanes(w, target) << base;
+                let chunk = ((1u64 << lanes) - 1) << base;
+                verdict &= eq | !chunk;
+                base += lanes;
+            }
+        }
+        Some(verdict)
+    }
+
+    /// [`Fade::swar_verdict_mask`] for mixed-ID blocks — the shape real
+    /// traces produce, where monitored loads and stores interleave. The
+    /// block's distinct IDs (at most [`MIXED_IDS`], else scalar) are
+    /// digested once into per-operand `(mask, target, mem)` byte rules;
+    /// the digests then expand into per-lane mask and target arrays, so
+    /// the packed compare is the same one XOR per eight lanes as the
+    /// uniform path, just against lane-varying words. Lanes whose rule
+    /// is invalid or has no invariant get `mask = target = 0` (and a
+    /// zero byte), which compares equal — exactly the clean-check
+    /// always-pass of [`evaluate_shot`].
+    fn swar_verdict_mixed(
+        &self,
+        block: &EventBlock,
+        plan: &BlockPlan,
+        start: usize,
+        st: &MetadataState,
+    ) -> Option<u64> {
+        /// One operand rule reduced to SWAR bytes: `(mask, target, mem,
+        /// active)`.
+        type SelDigest = (u8, u8, bool, bool);
+        const MIXED_IDS: usize = 4;
+        let n = block.len();
+        let ids = block.ids();
+        let mut memo_raw = [0u8; MIXED_IDS];
+        let mut memo: [[SelDigest; 3]; MIXED_IDS] = [[(0, 0, false, false); 3]; MIXED_IDS];
+        let mut memo_len = 0usize;
+        let mut lane_digest = [0u8; BLOCK_LANES];
+        for i in start..n {
+            let raw = ids[i];
+            let idx = match memo_raw[..memo_len].iter().position(|&r| r == raw) {
+                Some(idx) => idx,
+                None => {
+                    if memo_len == MIXED_IDS {
+                        return None;
+                    }
+                    let entry = self
+                        .program
+                        .table()
+                        .entry(EventId::new(raw))
+                        .expect("plan implies an entry");
+                    if entry.kind != FilterKind::CleanCheck {
+                        return None;
+                    }
+                    let mut digest = [(0, 0, false, false); 3];
+                    for (s, &sel) in OperandSel::ALL.iter().enumerate() {
+                        let rule = entry.operand(sel);
+                        if rule.valid && (rule.mask > 0xff || (rule.mem && rule.md_bytes != 1)) {
+                            return None;
+                        }
+                        let (true, Some(inv_id)) = (rule.valid, rule.inv_id) else {
+                            continue;
+                        };
+                        let target = (self.program.invariants().read(inv_id) & rule.mask) as u8;
+                        digest[s] = (rule.mask as u8, target, rule.mem, true);
+                    }
+                    memo_raw[memo_len] = raw;
+                    memo[memo_len] = digest;
+                    memo_len += 1;
+                    memo_len - 1
+                }
+            };
+            lane_digest[i] = idx as u8;
+        }
+
+        let mut verdict = block.full_mask();
+        for (s, &sel) in OperandSel::ALL.iter().enumerate() {
+            if !(0..memo_len).any(|d| memo[d][s].3) {
+                continue;
+            }
+            let mut bytes = [0u8; BLOCK_LANES];
+            let mut masks = [0u8; BLOCK_LANES];
+            let mut targets = [0u8; BLOCK_LANES];
+            // Memory lanes compact into one gather (keeping lane order,
+            // so page runs still coalesce) and scatter back.
+            let mut gather_addrs = [0u64; BLOCK_LANES];
+            let mut gather_lanes = [0u8; BLOCK_LANES];
+            let mut g = 0usize;
+            let regs = match sel {
+                OperandSel::S1 => block.src1s(),
+                OperandSel::S2 => block.src2s(),
+                OperandSel::D => block.dests(),
+            };
+            for i in start..n {
+                let (mask, target, mem, active) = memo[lane_digest[i] as usize][s];
+                masks[i] = mask;
+                targets[i] = target;
+                if !active {
+                    continue;
+                }
+                if mem {
+                    gather_addrs[g] = plan.md_addrs[i];
+                    gather_lanes[g] = i as u8;
+                    g += 1;
+                } else {
+                    bytes[i] = st.regs.read(fade_isa::Reg::new(regs[i]));
+                }
+            }
+            if g > 0 {
+                let mut gathered = [0u8; BLOCK_LANES];
+                st.mem.gather_u8(&gather_addrs[..g], &mut gathered[..g]);
+                for k in 0..g {
+                    bytes[gather_lanes[k] as usize] = gathered[k];
+                }
+            }
+            let mut base = start & !7;
+            while base < n {
+                let lanes = (n - base).min(8);
+                let take =
+                    |a: &[u8; BLOCK_LANES]| u64::from_le_bytes(a[base..base + 8].try_into().expect("8-byte chunk"));
+                let eq = eq_byte_lanes(take(&bytes) & take(&masks), take(&targets)) << base;
+                let chunk = ((1u64 << lanes) - 1) << base;
+                verdict &= eq | !chunk;
+                base += lanes;
+            }
+        }
+        Some(verdict)
+    }
+
+    /// Retire phase: lanes `start..start + p` are warm and filtered —
+    /// apply exactly the scalar loop's per-event accounting in bulk. An
+    /// MRU hit moves no LRU state, so this is pure counter arithmetic
+    /// plus the decoded-plan handoff the scalar loop would leave
+    /// behind.
+    fn bulk_retire(
+        &mut self,
+        block: &EventBlock,
+        plan: &BlockPlan,
+        start: usize,
+        p: usize,
+        out: &mut BatchStats,
+    ) {
+        // start + p <= BLOCK_LANES (16), so the shifts cannot overflow.
+        let mem = plan.mem_mask & ((1u64 << (start + p)) - 1) & (u64::MAX << start);
+        // Debug builds keep the per-lane MRU assertions; release builds
+        // retire the whole mask with two counter adds.
+        #[cfg(debug_assertions)]
+        {
+            let addrs = block.addrs();
+            let mut m = mem;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.tlb.record_mru_hit(VirtAddr::new(addrs[i]));
+                self.md_cache.record_mru_hit(plan.md_addrs[i]);
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let hits = mem.count_ones() as u64;
+            self.tlb.record_mru_hits(hits);
+            self.md_cache.record_mru_hits(hits);
+        }
+        let p64 = p as u64;
+        out.fast_path += p64;
+        self.stats.instr_events += p64;
+        self.stats.shots += p64;
+        self.stats.busy_cycles += p64;
+        self.stats.filtered += p64;
+        // Leave the decoded plan exactly as the scalar loop would after
+        // the run's last lane (the MRU window is untouched by warm
+        // hits).
+        let last = start + p - 1;
+        self.batch.plan_id = Some(EventId::new(block.ids()[last]));
+        self.batch.plan_single_shot = true;
+        self.batch.plan_has_mem = plan.mem_mask >> last & 1 == 1;
+    }
+
+    /// Probes a block against the current accelerator state without
+    /// filtering it: plan eligibility, the warm-phase bitmask and the
+    /// full per-lane verdict mask. Intended for differential and
+    /// property tests; monitor-visible state is unchanged.
+    pub fn probe_block(&self, block: &EventBlock, st: &MetadataState) -> BlockProbe {
+        let Some(plan) = self.block_plan(block) else {
+            return BlockProbe {
+                eligible: false,
+                warm_mask: 0,
+                verdict_mask: 0,
+            };
+        };
+        let verdict_mask = self.swar_verdict_mask(block, &plan, 0, st).unwrap_or_else(|| {
+            let mut m = 0u64;
+            for i in 0..block.len() {
+                m |= (self.lane_filtered(block, &plan, i, st) as u64) << i;
+            }
+            m
+        });
+        BlockProbe {
+            eligible: true,
+            warm_mask: self.warm_mask(block, &plan, 0),
+            verdict_mask,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_fills_every_lane() {
+        assert_eq!(broadcast8(0xab), 0xabab_abab_abab_abab);
+        assert_eq!(broadcast8(0), 0);
+    }
+
+    #[test]
+    fn pack_orders_lanes_little_endian() {
+        assert_eq!(pack8(&[1, 2, 3]), 0x0003_0201);
+        assert_eq!(pack8(&[]), 0);
+        assert_eq!(pack8(&[0xff; 8]), u64::MAX);
+    }
+
+    #[test]
+    fn zero_lanes_flags_exactly_the_zero_bytes() {
+        assert_eq!(zero_byte_lanes(0), 0xff);
+        assert_eq!(zero_byte_lanes(u64::MAX), 0);
+        // Lanes 0, 2, 4, 5, 7 hold zero bytes.
+        assert_eq!(zero_byte_lanes(0x00ff_0000_ff00_ff00), 0b1011_0101);
+    }
+
+    #[test]
+    fn zero_lanes_has_no_borrow_false_positive() {
+        // The textbook (w - LO) & !w & HI trick would flag byte 1 of
+        // 0x0100 (the borrow out of the zero low byte turns 0x01 into
+        // 0x00); the borrow-safe form must not.
+        assert_eq!(zero_byte_lanes(0x0100), 0xfd, "lane 1 holds 0x01, lanes 2..8 are zero");
+        assert_eq!(zero_byte_lanes(0x0101_0101_0101_0100), 0b01);
+        assert_eq!(zero_byte_lanes(0x0001_0000_0100_0001), 0b1011_0110);
+    }
+
+    #[test]
+    fn eq_lanes_matches_per_byte_compare() {
+        let w = 0x1122_3344_5566_7788;
+        assert_eq!(eq_byte_lanes(w, w), 0xff);
+        assert_eq!(eq_byte_lanes(w, broadcast8(0x44)), 1 << 4);
+        assert_eq!(eq_byte_lanes(w, 0), 0);
+    }
+}

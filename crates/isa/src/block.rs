@@ -1,0 +1,313 @@
+//! Structure-of-arrays event blocks for the vectorized filtering core.
+//!
+//! [`EventBlock`] holds up to [`BLOCK_LANES`] decoded instruction events
+//! with each field in its own lane array — event-ID words, memory
+//! addresses, PCs, register fields, memory sizes — instead of an array
+//! of [`InstrEvent`] structs. The layout lets the filter kernel compare
+//! one field across every lane at once (bitmask M-TLB/MD-window
+//! matching, packed-byte verdict checks) and lets decoders fill lanes
+//! straight from trace records without building an intermediate
+//! array-of-structs event vector.
+//!
+//! A block has a fixed *width* (its lane capacity, `1..=BLOCK_LANES`)
+//! chosen at construction; `len() <= width()` so misaligned tails —
+//! the last few events of a chunk — travel as short blocks rather than
+//! forcing a scalar detour.
+
+use crate::addr::VirtAddr;
+use crate::event::{EventId, InstrEvent};
+use crate::instr::AppInstr;
+use crate::opclass::event_id_for;
+use crate::reg::Reg;
+
+/// Maximum lanes per [`EventBlock`] (and the widest vector the filter
+/// kernel processes at once). Sixteen lanes = two packed `u64` byte
+/// words in the kernel's SWAR compares.
+pub const BLOCK_LANES: usize = 16;
+
+/// A structure-of-arrays block of decoded instruction events.
+///
+/// Field-per-lane twin of `[InstrEvent; N]`: lane `i` of every array
+/// describes the same event. [`EventBlock::lane`] reconstructs the
+/// array-of-structs view for scalar fallback paths, and is bit-exact —
+/// `push(ev)` followed by `lane(i)` round-trips every field.
+#[derive(Clone, Debug)]
+pub struct EventBlock {
+    len: usize,
+    width: usize,
+    /// Event-ID lane (raw 7-bit table indices — the "opclass word").
+    ids: [u8; BLOCK_LANES],
+    /// Memory-operand effective addresses (raw [`VirtAddr`] values).
+    addrs: [u32; BLOCK_LANES],
+    /// Program counters (absolute; codecs undo their PC-delta encoding
+    /// while filling the lane).
+    pcs: [u32; BLOCK_LANES],
+    /// First-source register indices.
+    src1: [u8; BLOCK_LANES],
+    /// Second-source register indices.
+    src2: [u8; BLOCK_LANES],
+    /// Destination register indices.
+    dest: [u8; BLOCK_LANES],
+    /// Memory access sizes in bytes.
+    mem_sizes: [u8; BLOCK_LANES],
+    /// Retiring hardware threads.
+    tids: [u8; BLOCK_LANES],
+    /// Flag word: bit `i` set when lane `i`'s destination value is a
+    /// pointer (`InstrEvent::result_ptr`).
+    result_ptrs: u16,
+}
+
+impl EventBlock {
+    /// Creates an empty block of the given lane width (clamped to
+    /// `1..=BLOCK_LANES`).
+    pub fn new(width: usize) -> Self {
+        EventBlock {
+            len: 0,
+            width: width.clamp(1, BLOCK_LANES),
+            ids: [0; BLOCK_LANES],
+            addrs: [0; BLOCK_LANES],
+            pcs: [0; BLOCK_LANES],
+            src1: [0; BLOCK_LANES],
+            src2: [0; BLOCK_LANES],
+            dest: [0; BLOCK_LANES],
+            mem_sizes: [0; BLOCK_LANES],
+            tids: [0; BLOCK_LANES],
+            result_ptrs: 0,
+        }
+    }
+
+    /// Lane capacity chosen at construction.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Occupied lanes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no lanes are occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when every lane up to the block's width is occupied.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.width
+    }
+
+    /// Empties the block (the width is kept).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.result_ptrs = 0;
+    }
+
+    /// Bitmask with one set bit per occupied lane (bit `i` = lane `i`).
+    #[inline]
+    pub fn full_mask(&self) -> u64 {
+        if self.len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+
+    /// Appends a decoded instruction event; returns `false` (leaving
+    /// the block unchanged) when the block is full.
+    pub fn push(&mut self, ev: &InstrEvent) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        let i = self.len;
+        self.ids[i] = ev.id.raw();
+        self.addrs[i] = ev.app_addr.raw();
+        self.pcs[i] = ev.app_pc.raw();
+        self.src1[i] = ev.src1.index();
+        self.src2[i] = ev.src2.index();
+        self.dest[i] = ev.dest.index();
+        self.mem_sizes[i] = ev.mem_size;
+        self.tids[i] = ev.tid;
+        if ev.result_ptr {
+            self.result_ptrs |= 1 << i;
+        }
+        self.len = i + 1;
+        true
+    }
+
+    /// Appends a retired instruction, decoding it straight into the
+    /// lanes (event-ID assignment plus field extraction) without
+    /// building an intermediate [`InstrEvent`]; returns `false` when
+    /// the block is full. Equivalent to
+    /// `push(&instr_event_for(instr))`.
+    pub fn push_app(&mut self, instr: &AppInstr) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        let i = self.len;
+        self.ids[i] = event_id_for(instr).raw();
+        self.addrs[i] = instr.mem.map(|m| m.addr.raw()).unwrap_or(0);
+        self.pcs[i] = instr.pc.raw();
+        self.src1[i] = instr.src1.map(|r| r.index()).unwrap_or(0);
+        self.src2[i] = instr.src2.map(|r| r.index()).unwrap_or(0);
+        self.dest[i] = instr.dest.map(|r| r.index()).unwrap_or(0);
+        self.mem_sizes[i] = instr.mem.map(|m| m.size).unwrap_or(0);
+        self.tids[i] = instr.tid;
+        if instr.result_ptr {
+            self.result_ptrs |= 1 << i;
+        }
+        self.len = i + 1;
+        true
+    }
+
+    /// Reconstructs lane `i` as an [`InstrEvent`] (the scalar-fallback
+    /// view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn lane(&self, i: usize) -> InstrEvent {
+        assert!(i < self.len, "lane {i} of a {}-event block", self.len);
+        InstrEvent {
+            id: EventId::new(self.ids[i]),
+            app_addr: VirtAddr::new(self.addrs[i]),
+            app_pc: VirtAddr::new(self.pcs[i]),
+            src1: Reg::new(self.src1[i]),
+            src2: Reg::new(self.src2[i]),
+            dest: Reg::new(self.dest[i]),
+            mem_size: self.mem_sizes[i],
+            tid: self.tids[i],
+            result_ptr: self.result_ptrs & (1 << i) != 0,
+        }
+    }
+
+    /// The occupied event-ID lane (raw table indices).
+    #[inline]
+    pub fn ids(&self) -> &[u8] {
+        &self.ids[..self.len]
+    }
+
+    /// The occupied memory-address lane (raw virtual addresses).
+    #[inline]
+    pub fn addrs(&self) -> &[u32] {
+        &self.addrs[..self.len]
+    }
+
+    /// The occupied PC lane (raw virtual addresses).
+    #[inline]
+    pub fn pcs(&self) -> &[u32] {
+        &self.pcs[..self.len]
+    }
+
+    /// The occupied first-source register lane.
+    #[inline]
+    pub fn src1s(&self) -> &[u8] {
+        &self.src1[..self.len]
+    }
+
+    /// The occupied second-source register lane.
+    #[inline]
+    pub fn src2s(&self) -> &[u8] {
+        &self.src2[..self.len]
+    }
+
+    /// The occupied destination register lane.
+    #[inline]
+    pub fn dests(&self) -> &[u8] {
+        &self.dest[..self.len]
+    }
+
+    /// The occupied memory-size lane.
+    #[inline]
+    pub fn mem_sizes(&self) -> &[u8] {
+        &self.mem_sizes[..self.len]
+    }
+
+    /// The occupied thread-ID lane.
+    #[inline]
+    pub fn tids(&self) -> &[u8] {
+        &self.tids[..self.len]
+    }
+
+    /// The result-is-pointer flag word (bit `i` = lane `i`).
+    #[inline]
+    pub fn result_ptr_mask(&self) -> u16 {
+        self.result_ptrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{InstrClass, MemRef};
+
+    #[test]
+    fn push_lane_round_trips_every_field() {
+        let mut b = EventBlock::new(BLOCK_LANES);
+        let evs: Vec<InstrEvent> = (0..BLOCK_LANES as u8)
+            .map(|i| InstrEvent {
+                id: EventId::new(i % 11),
+                app_addr: VirtAddr::new(0x9000 + 4 * i as u32),
+                app_pc: VirtAddr::new(0x40 + 4 * i as u32),
+                src1: Reg::new(i % 32),
+                src2: Reg::new((i + 1) % 32),
+                dest: Reg::new((i + 2) % 32),
+                mem_size: [0, 1, 2, 4, 8][i as usize % 5],
+                tid: i % 4,
+                result_ptr: i % 3 == 0,
+            })
+            .collect();
+        for ev in &evs {
+            assert!(b.push(ev));
+        }
+        assert_eq!(b.len(), evs.len());
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(b.lane(i), *ev, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn width_bounds_push() {
+        let mut b = EventBlock::new(2);
+        let ev = InstrEvent::new(EventId::new(1), VirtAddr::new(4));
+        assert!(b.push(&ev));
+        assert!(b.push(&ev));
+        assert!(b.is_full());
+        assert!(!b.push(&ev), "third push into a width-2 block");
+        assert_eq!(b.len(), 2);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.width(), 2);
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        assert_eq!(EventBlock::new(0).width(), 1);
+        assert_eq!(EventBlock::new(99).width(), BLOCK_LANES);
+    }
+
+    #[test]
+    fn push_app_matches_instr_event_for() {
+        let i = AppInstr::new(VirtAddr::new(0x44), InstrClass::Load)
+            .with_dest(Reg::new(7))
+            .with_mem(MemRef::word(VirtAddr::new(0x9010)))
+            .with_tid(2);
+        let mut b = EventBlock::new(8);
+        assert!(b.push_app(&i));
+        assert_eq!(b.lane(0), crate::opclass::instr_event_for(&i));
+    }
+
+    #[test]
+    fn full_mask_tracks_len() {
+        let mut b = EventBlock::new(4);
+        assert_eq!(b.full_mask(), 0);
+        let ev = InstrEvent::new(EventId::new(3), VirtAddr::new(8));
+        b.push(&ev);
+        b.push(&ev);
+        assert_eq!(b.full_mask(), 0b11);
+    }
+}

@@ -393,6 +393,53 @@ impl ShadowMemory {
         }
     }
 
+    /// Reads one metadata byte per address into `out` — the lane-gather
+    /// primitive of the vectorized filtering kernel. Values are exactly
+    /// what per-address [`ShadowMemory::read_u8`] calls would return;
+    /// the page table is probed (and page recency stamped) once per
+    /// *run* of addresses sharing a page rather than once per byte.
+    /// Gathers are bursty within a page, so this removes most of the
+    /// per-lane lookup cost; recency granularity is not part of the
+    /// semantic state (equality is content-based) and demotions stay
+    /// lossless regardless of stamp order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn gather_u8(&self, addrs: &[u64], out: &mut [u8]) {
+        assert!(out.len() >= addrs.len(), "gather output too short");
+        let mut i = 0;
+        while i < addrs.len() {
+            let page = addrs[i] >> SHADOW_PAGE_SHIFT;
+            let mut j = i + 1;
+            while j < addrs.len() && addrs[j] >> SHADOW_PAGE_SHIFT == page {
+                j += 1;
+            }
+            // The page representation is resolved once for the whole
+            // run, so the per-byte loops are straight array reads.
+            match self.find(page) {
+                None => out[i..j].fill(0),
+                Some(s) => {
+                    self.touch(s);
+                    match &self.slots[s].as_ref().expect("found slot is occupied").repr {
+                        PageRepr::Full(p) => {
+                            for k in i..j {
+                                out[k] = p[(addrs[k] as usize) & (SHADOW_PAGE_SIZE - 1)];
+                            }
+                        }
+                        PageRepr::Uniform(v) => out[i..j].fill(*v),
+                        PageRepr::Compressed(c) => {
+                            for k in i..j {
+                                out[k] = rle_read(c, (addrs[k] as usize) & (SHADOW_PAGE_SIZE - 1));
+                            }
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+    }
+
     /// Reads up to 8 metadata bytes starting at `addr`, little-endian
     /// packed into a `u64`.
     ///

@@ -64,7 +64,8 @@ pub use system::{
     baseline_cycles, ExecMode, MonitoringSystem, ReplayBuffer, SourceError, TraceSource,
 };
 pub use throughput::{
-    measure_system_throughput, measure_system_throughput_records, measure_throughput,
-    measure_throughput_matrix, measure_trace_codec, measure_trace_codec_records,
-    record_trace_prefix, SystemThroughputReport, ThroughputReport, TraceCodecReport,
+    measure_synthetic_filterable, measure_system_throughput, measure_system_throughput_records,
+    measure_throughput, measure_throughput_matrix, measure_trace_codec,
+    measure_trace_codec_records, record_trace_prefix, synthetic_filterable_events,
+    SystemThroughputReport, ThroughputReport, TraceCodecReport, VECTOR_LANES,
 };

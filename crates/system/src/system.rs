@@ -1182,7 +1182,8 @@ impl MonitoringSystem {
                 // absorbed by the sampled residual).
                 let hipc = self.cfg.core.handler_ipc().min(self.cfg.core.width() as f64);
                 let mut handler_cycles = 0u64;
-                let bs = fade.run_batch_with(&chunk, &mut self.state, |uf, st| {
+                let lanes = self.cfg.batch_lanes.clamp(1, fade_isa::BLOCK_LANES);
+                let consumer = |uf: fade::UnfilteredEvent, st: &mut MetadataState| {
                     apply_unfiltered(monitor.as_mut(), &uf, st, inv_buf);
                     // Same handler-cost attribution as the cycle
                     // engine's consumer.
@@ -1207,7 +1208,14 @@ impl MonitoringSystem {
                             AppEvent::StackUpdate(_) => class_instrs.stack += cost,
                         }
                     }
-                });
+                };
+                // The vectorized kernel is bit-exact with the scalar
+                // loop, so the lane width is purely a throughput knob.
+                let bs = if lanes > 1 {
+                    fade.run_batch_vectorized_with(&chunk, &mut self.state, lanes, consumer)
+                } else {
+                    fade.run_batch_with(&chunk, &mut self.state, consumer)
+                };
                 for (id, v) in self.inv_buf.drain(..) {
                     fade.write_invariant(id, v);
                 }

@@ -47,6 +47,7 @@ pub mod file;
 pub mod heap;
 pub mod profile;
 pub mod program;
+pub mod soa;
 pub mod value;
 
 pub use bench::{by_name, parallel_suite, spec_int_suite, taint_suite};
@@ -58,4 +59,5 @@ pub use file::{
 pub use heap::HeapModel;
 pub use profile::{BenchProfile, InstrMix};
 pub use program::{SyntheticProgram, TraceRecord};
+pub use soa::{read_trace_soa, SoaDecoder, SoaItem};
 pub use value::{ValueState, ValueTags};

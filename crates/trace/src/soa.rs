@@ -1,0 +1,249 @@
+//! Trace-record decoding straight into structure-of-arrays event blocks.
+//!
+//! The scalar pipeline decodes a [`TraceRecord`] chunk into a `Vec` of
+//! array-of-structs [`AppEvent`]s and only later (in the vectorized
+//! engine) regroups instruction events into lanes. [`SoaDecoder`] skips
+//! that round trip: instruction records go straight into
+//! [`EventBlock`] lanes via [`EventBlock::push_app`] (event-ID
+//! assignment and field extraction fused into the lane fill), and
+//! non-instruction records flush the partial block so program order is
+//! preserved.
+//!
+//! The decoder is *stateful across chunks*: a block may straddle a
+//! [`TraceReader`] chunk boundary — feed each chunk's records with
+//! [`SoaDecoder::push`] and the half-filled block simply keeps filling
+//! from the next chunk. Call [`SoaDecoder::finish`] at end of stream to
+//! emit the misaligned tail (a short block). The framing never changes
+//! the decoded event sequence: flattening the emitted items always
+//! reproduces the record stream's event order exactly.
+
+use fade_isa::{AppEvent, AppInstr, EventBlock};
+
+use crate::file::{TraceFileError, TraceReader};
+use crate::program::TraceRecord;
+
+/// One item of a SoA-decoded stream: a lane-packed block of
+/// consecutive instruction events, or a passthrough event that cut the
+/// block short (stack updates, high-level events).
+// The size gap is the point: blocks are built and consumed in place on
+// the hot decode path, and boxing them would trade the lane-fill's
+// cache locality for an allocation per block.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum SoaItem {
+    /// `1..=width` consecutive instruction events, lane-packed.
+    Block(EventBlock),
+    /// A non-instruction event in its program-order position.
+    Event(AppEvent),
+}
+
+impl SoaItem {
+    /// Number of application events this item carries.
+    pub fn len(&self) -> usize {
+        match self {
+            SoaItem::Block(b) => b.len(),
+            SoaItem::Event(_) => 1,
+        }
+    }
+
+    /// `true` when the item carries no events (an empty block; never
+    /// produced by [`SoaDecoder`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Streaming [`TraceRecord`] → [`SoaItem`] decoder with a selection
+/// predicate (the monitor's event filter) applied before lane fill.
+///
+/// Unselected instruction records are dropped — the same contract as
+/// the per-event decode path, where the monitor's `selects` filter
+/// runs before events reach the accelerator.
+pub struct SoaDecoder<S> {
+    select: S,
+    block: EventBlock,
+}
+
+impl<S: FnMut(&AppInstr) -> bool> SoaDecoder<S> {
+    /// Creates a decoder emitting blocks of up to `width` lanes
+    /// (clamped to `1..=`[`BLOCK_LANES`](fade_isa::BLOCK_LANES)).
+    pub fn new(width: usize, select: S) -> Self {
+        SoaDecoder {
+            select,
+            block: EventBlock::new(width),
+        }
+    }
+
+    /// Feeds one record, appending any completed items to `out`.
+    ///
+    /// Instruction records fill lanes (a full block is emitted and the
+    /// next lane fill starts a fresh one); non-instruction records
+    /// flush the partial block first, then pass through, so emitted
+    /// items replay in exact program order.
+    pub fn push(&mut self, rec: &TraceRecord, out: &mut Vec<SoaItem>) {
+        match rec {
+            TraceRecord::Instr(i) => {
+                if !(self.select)(i) {
+                    return;
+                }
+                if !self.block.push_app(i) {
+                    self.emit_block(out);
+                    let ok = self.block.push_app(i);
+                    debug_assert!(ok, "a freshly emitted block has free lanes");
+                }
+                if self.block.is_full() {
+                    self.emit_block(out);
+                }
+            }
+            TraceRecord::Stack(s) => {
+                self.emit_block(out);
+                out.push(SoaItem::Event(AppEvent::StackUpdate(*s)));
+            }
+            TraceRecord::High(h) => {
+                self.emit_block(out);
+                out.push(SoaItem::Event(AppEvent::HighLevel(*h)));
+            }
+        }
+    }
+
+    /// Feeds a slice of records (chunk-at-a-time decoding; partial
+    /// blocks carry over to the next call).
+    pub fn push_all(&mut self, recs: &[TraceRecord], out: &mut Vec<SoaItem>) {
+        for r in recs {
+            self.push(r, out);
+        }
+    }
+
+    /// Flushes the misaligned tail — the partial block buffered after
+    /// the last full one — at end of stream.
+    pub fn finish(&mut self, out: &mut Vec<SoaItem>) {
+        self.emit_block(out);
+    }
+
+    /// Lanes currently buffered in the unfinished block.
+    pub fn pending(&self) -> usize {
+        self.block.len()
+    }
+
+    fn emit_block(&mut self, out: &mut Vec<SoaItem>) {
+        if !self.block.is_empty() {
+            let width = self.block.width();
+            out.push(SoaItem::Block(std::mem::replace(
+                &mut self.block,
+                EventBlock::new(width),
+            )));
+        }
+    }
+}
+
+/// Decodes an entire trace into SoA items, selecting every
+/// instruction: blocks of up to `width` lanes plus passthrough
+/// non-instruction events, in program order. Chunk boundaries inside
+/// the file are invisible in the output.
+pub fn read_trace_soa<R: std::io::Read>(
+    reader: &mut TraceReader<R>,
+    width: usize,
+) -> Result<Vec<SoaItem>, TraceFileError> {
+    let mut dec = SoaDecoder::new(width, |_| true);
+    let mut out = Vec::new();
+    while let Some(rec) = reader.next_record()? {
+        dec.push(&rec, &mut out);
+    }
+    dec.finish(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+    use crate::program::SyntheticProgram;
+    use fade_isa::instr_event_for;
+
+    fn sample_records(n: usize) -> Vec<TraceRecord> {
+        let profile = bench::by_name("gcc").unwrap();
+        let mut prog = SyntheticProgram::new(&profile, 7);
+        (0..n).map(|_| prog.next_record()).collect()
+    }
+
+    /// Flattening the SoA items must reproduce the AoS decode exactly.
+    fn flatten(items: &[SoaItem]) -> Vec<AppEvent> {
+        let mut out = Vec::new();
+        for it in items {
+            match it {
+                SoaItem::Block(b) => {
+                    for i in 0..b.len() {
+                        out.push(AppEvent::Instr(b.lane(i)));
+                    }
+                }
+                SoaItem::Event(e) => out.push(*e),
+            }
+        }
+        out
+    }
+
+    fn aos_decode(recs: &[TraceRecord]) -> Vec<AppEvent> {
+        recs.iter()
+            .map(|r| match r {
+                TraceRecord::Instr(i) => AppEvent::Instr(instr_event_for(i)),
+                TraceRecord::Stack(s) => AppEvent::StackUpdate(*s),
+                TraceRecord::High(h) => AppEvent::HighLevel(*h),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn soa_decode_matches_aos_in_program_order() {
+        let recs = sample_records(3000);
+        for width in [1, 3, 8, 16] {
+            let mut dec = SoaDecoder::new(width, |_| true);
+            let mut items = Vec::new();
+            dec.push_all(&recs, &mut items);
+            dec.finish(&mut items);
+            assert_eq!(flatten(&items), aos_decode(&recs), "width {width}");
+            for it in &items {
+                if let SoaItem::Block(b) = it {
+                    assert!(!b.is_empty() && b.len() <= width);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_feeding_is_invisible() {
+        let recs = sample_records(1500);
+        let mut whole = Vec::new();
+        let mut dec = SoaDecoder::new(8, |_| true);
+        dec.push_all(&recs, &mut whole);
+        dec.finish(&mut whole);
+
+        // Same records fed in awkward chunk sizes (prime, tiny, huge).
+        for chunk in [1usize, 7, 13, 64, 1024] {
+            let mut items = Vec::new();
+            let mut dec = SoaDecoder::new(8, |_| true);
+            for c in recs.chunks(chunk) {
+                dec.push_all(c, &mut items);
+            }
+            dec.finish(&mut items);
+            assert_eq!(flatten(&items), flatten(&whole), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn select_predicate_drops_lanes() {
+        let recs = sample_records(800);
+        let mut dec = SoaDecoder::new(16, |i: &AppInstr| i.mem.is_some());
+        let mut items = Vec::new();
+        dec.push_all(&recs, &mut items);
+        dec.finish(&mut items);
+        let selected: Vec<TraceRecord> = recs
+            .iter()
+            .filter(|r| match r {
+                TraceRecord::Instr(i) => i.mem.is_some(),
+                _ => true,
+            })
+            .copied()
+            .collect();
+        assert_eq!(flatten(&items), aos_decode(&selected));
+    }
+}

@@ -1,0 +1,133 @@
+//! Block-framing boundary tests for the SoA decode path: blocks that
+//! straddle `.fadet` chunk boundaries, misaligned tails, and tiny
+//! chunk sizes must all be invisible — the SoA-decoded event sequence
+//! equals the flat AoS decode, record for record.
+
+use fade_isa::{instr_event_for, AppEvent};
+use fade_trace::soa::{SoaDecoder, SoaItem};
+use fade_trace::{
+    bench, read_trace_soa, SyntheticProgram, TraceMeta, TraceReader, TraceRecord, TraceWriter,
+};
+
+fn sample_records(n: usize, seed: u64) -> Vec<TraceRecord> {
+    let profile = bench::by_name("hmmer").unwrap();
+    let mut prog = SyntheticProgram::new(&profile, seed);
+    (0..n).map(|_| prog.next_record()).collect()
+}
+
+fn flatten(items: &[SoaItem]) -> Vec<AppEvent> {
+    let mut out = Vec::new();
+    for it in items {
+        match it {
+            SoaItem::Block(b) => {
+                for i in 0..b.len() {
+                    out.push(AppEvent::Instr(b.lane(i)));
+                }
+            }
+            SoaItem::Event(e) => out.push(*e),
+        }
+    }
+    out
+}
+
+fn aos_decode(recs: &[TraceRecord]) -> Vec<AppEvent> {
+    recs.iter()
+        .map(|r| match r {
+            TraceRecord::Instr(i) => AppEvent::Instr(instr_event_for(i)),
+            TraceRecord::Stack(s) => AppEvent::StackUpdate(*s),
+            TraceRecord::High(h) => AppEvent::HighLevel(*h),
+        })
+        .collect()
+}
+
+fn encode_with_chunks(recs: &[TraceRecord], chunk_records: usize) -> Vec<u8> {
+    let mut w = TraceWriter::new(Vec::new(), &TraceMeta::new("hmmer", 11))
+        .unwrap()
+        .with_chunk_records(chunk_records);
+    w.write_all(recs).unwrap();
+    w.finish().unwrap()
+}
+
+/// Chunk sizes chosen so SoA blocks straddle every chunk boundary
+/// (chunk lengths prime to every lane width): the decoded stream must
+/// be identical to the flat decode regardless of framing.
+#[test]
+fn blocks_straddling_reader_chunks_decode_identically() {
+    let recs = sample_records(4000, 11);
+    let flat = aos_decode(&recs);
+    for chunk_records in [7usize, 13, 100, 257, 1000] {
+        let bytes = encode_with_chunks(&recs, chunk_records);
+        for width in [1usize, 8, 16] {
+            let mut reader = TraceReader::new(&bytes[..]).unwrap();
+            let items = read_trace_soa(&mut reader, width).unwrap();
+            assert_eq!(
+                flatten(&items),
+                flat,
+                "chunk_records={chunk_records} width={width}"
+            );
+            for it in &items {
+                if let SoaItem::Block(b) = it {
+                    assert!(!b.is_empty() && b.len() <= width);
+                }
+            }
+        }
+    }
+}
+
+/// Driving the decoder with `next_records_into` chunks of awkward
+/// sizes (the batched engine's collection pattern) carries partial
+/// blocks across calls without reordering or loss.
+#[test]
+fn chunked_reader_feeding_matches_whole_trace_decode() {
+    let recs = sample_records(2500, 23);
+    let bytes = encode_with_chunks(&recs, 300);
+    let mut whole_reader = TraceReader::new(&bytes[..]).unwrap();
+    let whole = read_trace_soa(&mut whole_reader, 16).unwrap();
+
+    for take in [1usize, 9, 64, 511] {
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let mut dec = SoaDecoder::new(16, |_| true);
+        let mut items = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if reader.next_records_into(&mut buf, take).unwrap() == 0 {
+                break;
+            }
+            dec.push_all(&buf, &mut items);
+        }
+        dec.finish(&mut items);
+        assert_eq!(flatten(&items), flatten(&whole), "take={take}");
+    }
+}
+
+/// A trace whose length is prime relative to every width leaves a
+/// misaligned tail shorter than a lane; `finish` must emit it exactly
+/// once and `pending` must report it beforehand.
+#[test]
+fn misaligned_tails_are_flushed_exactly_once() {
+    let recs: Vec<TraceRecord> = sample_records(6000, 5)
+        .into_iter()
+        .filter(|r| matches!(r, TraceRecord::Instr(_)))
+        .take(1009) // prime: tail of 1 at w=16? 1009 = 63*16 + 1
+        .collect();
+    assert_eq!(recs.len(), 1009);
+    for width in [2usize, 8, 16] {
+        let mut dec = SoaDecoder::new(width, |_| true);
+        let mut items = Vec::new();
+        dec.push_all(&recs, &mut items);
+        let tail = 1009 % width;
+        assert_eq!(dec.pending(), tail, "width={width}");
+        dec.finish(&mut items);
+        assert_eq!(dec.pending(), 0);
+        dec.finish(&mut items); // idempotent: nothing left to emit
+        let total: usize = items.iter().map(SoaItem::len).sum();
+        assert_eq!(total, 1009, "width={width}");
+        if tail > 0 {
+            let SoaItem::Block(last) = items.last().unwrap() else {
+                panic!("tail must be a block");
+            };
+            assert_eq!(last.len(), tail, "width={width}: short tail block");
+        }
+    }
+}
