@@ -43,9 +43,10 @@ const PIPELINE_EVENTS: u64 = 200_000;
 /// point).
 const SYNTHETIC_BATCH: usize = 32;
 
-/// One pipeline row in the v6 schema: the v5 fields plus the
-/// vectorized (SoA block) engine's rate and its speedup over the
-/// scalar batched loop.
+/// One pipeline row (fields unchanged since the v6 schema): the v5
+/// fields plus the vectorized (SoA block) engine's rate and its
+/// speedup over the scalar batched loop. The v7 bump added the
+/// per-stratum sampling columns to the *system* rows.
 fn pipeline_row(r: &fade_system::ThroughputReport) -> String {
     println!(
         "  {}/{} batch {:>3}: {:>6.2} Mev/s batched, {:>6.2} Mev/s vectorized, {:>6.2} Mev/s per-event ({:.2}x vec, {:.0}% fast path)",
@@ -183,6 +184,29 @@ fn system_json(replay_dir: Option<&Path>, prefixes: Vec<PointPrefix>) -> String 
             100.0 * r.fast_path_fraction(),
             100.0 * r.cycle_error(),
         );
+        // Since schema v7 each system row carries the estimator's
+        // per-congestion-stratum interval breakdown alongside the
+        // whole-run (production-rate) `rel_half_width`.
+        let strata = r
+            .strata
+            .iter()
+            .map(|s| {
+                format!(
+                    concat!(
+                        "{{\"stratum\": {}, \"windows\": {}, \"events\": {}, ",
+                        "\"cpi\": {:.4}, \"rel_half_width\": {}, \"beta\": {}}}"
+                    ),
+                    s.stratum,
+                    s.windows,
+                    s.events,
+                    s.cpi,
+                    s.rel_half_width
+                        .map_or_else(|| "null".to_string(), |w| format!("{w:.4}")),
+                    s.beta.map_or_else(|| "null".to_string(), |b| format!("{b:.4}")),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         rows.push(format!(
             concat!(
                 "    {{\"benchmark\": \"{}\", \"monitor\": \"{}\", \"events\": {}, ",
@@ -191,7 +215,7 @@ fn system_json(replay_dir: Option<&Path>, prefixes: Vec<PointPrefix>) -> String 
                 "\"speedup\": {:.3}, \"fast_path_fraction\": {:.4}, ",
                 "\"exact_cycles\": {}, \"estimated_cycles\": {}, \"cycle_error\": {:.4}, ",
                 "\"rel_half_width\": {}, \"carried_seed_cycles\": {}, ",
-                "\"sample_period\": {}, \"sample_window\": {}}}"
+                "\"sample_period\": {}, \"sample_window\": {}, \"strata\": [{}]}}"
             ),
             r.benchmark,
             r.monitor,
@@ -209,6 +233,7 @@ fn system_json(replay_dir: Option<&Path>, prefixes: Vec<PointPrefix>) -> String 
             r.carried_seed_cycles,
             r.sample_period,
             r.sample_window,
+            strata,
         ));
     }
     rows.join(",\n")
@@ -382,7 +407,7 @@ fn main() {
     let system_rows = system_json(replay_dir.as_deref(), prefixes);
     let matrix_rows = matrix_json(&matrix_rows);
     let json = format!(
-        "{{\n  \"schema\": \"fade-pipeline-throughput/v6\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"trace_results\": [\n{trace_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ],\n  \"matrix_results\": [\n{matrix_rows}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"fade-pipeline-throughput/v7\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"trace_results\": [\n{trace_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ],\n  \"matrix_results\": [\n{matrix_rows}\n  ]\n}}\n",
     );
     let path = "BENCH_pipeline.json";
     match std::fs::write(path, &json) {

@@ -84,6 +84,12 @@
 //! refresh recency on values that are then re-fetched identically.
 
 use fade_isa::{AppEvent, EventBlock, EventId, VirtAddr, BLOCK_LANES};
+
+/// Narrowest instruction run worth routing through the SoA kernel: the
+/// SWAR comparisons pack 8 metadata bytes per `u64` word, so a block
+/// with fewer lanes does scalar-shaped work *plus* the fixed SoA decode
+/// overhead. Shorter runs take the scalar per-event path directly.
+pub const SWAR_PAYOFF_LANES: usize = 8;
 use fade_shadow::MetadataState;
 
 use crate::event_table::{FilterKind, OperandSel};
@@ -181,11 +187,40 @@ impl Fade {
 
     /// [`Fade::run_batch_vectorized`] with a dispatched-event consumer,
     /// mirroring [`Fade::run_batch_with`].
+    ///
+    /// A call too short to ever form a payoff-width block is the scalar
+    /// loop with extra steps: it is handed over wholesale, before any
+    /// vectorized setup, so drivers submitting tiny batches pay exactly
+    /// the scalar path's cost (both paths are bit-exact, so routing is
+    /// invisible in results). The wrapper is `#[inline]` precisely so
+    /// that decision — and the delegated call — collapses into the
+    /// caller without an extra frame on the per-event path.
+    #[inline]
     pub fn run_batch_vectorized_with<F>(
         &mut self,
         events: &[AppEvent],
         st: &mut MetadataState,
         width: usize,
+        consumer: F,
+    ) -> BatchStats
+    where
+        F: FnMut(UnfilteredEvent, &mut MetadataState),
+    {
+        let payoff = SWAR_PAYOFF_LANES.min(width.max(1));
+        if events.len() < payoff {
+            return self.run_batch_with(events, st, consumer);
+        }
+        self.run_batch_vectorized_wide(events, st, width, payoff, consumer)
+    }
+
+    /// The SoA block loop behind [`Fade::run_batch_vectorized_with`],
+    /// for calls long enough that a payoff-width block can form.
+    fn run_batch_vectorized_wide<F>(
+        &mut self,
+        events: &[AppEvent],
+        st: &mut MetadataState,
+        width: usize,
+        payoff: usize,
         mut consumer: F,
     ) -> BatchStats
     where
@@ -199,7 +234,9 @@ impl Fade {
         if !self.is_idle() {
             self.settle_batch(st, &mut out, &mut consumer);
         }
-        let mut block = EventBlock::new(width);
+        // Built lazily: a call whose every run is bypassed (narrow
+        // batches) or cooled off never pays for zeroing the SoA lanes.
+        let mut block: Option<EventBlock> = None;
         // Adaptive gate: block vectorization only pays off when blocks
         // retire (nearly) whole — the fixed SoA decode and lane-pass
         // overhead outweighs the per-lane saving as soon as a few lanes
@@ -219,6 +256,30 @@ impl Fade {
         while i < events.len() {
             match &events[i] {
                 AppEvent::Instr(_) => {
+                    // Width gate: the SWAR verdict packs 8 lanes per
+                    // u64 word, so a run shorter than one word can't
+                    // amortize the fixed SoA decode and lane-pass
+                    // overhead no matter how well it retires — small
+                    // driver batches (batch size 1–4 chunks) were
+                    // paying a persistent 5–10% tax over the scalar
+                    // loop. Runs narrower than the payoff width go
+                    // scalar directly, without touching the adaptive
+                    // gate's counters: a narrow run says nothing about
+                    // the stream's locality.
+                    let run = events[i..]
+                        .iter()
+                        .take(payoff)
+                        .take_while(|e| matches!(e, AppEvent::Instr(_)))
+                        .count();
+                    if run < payoff {
+                        for _ in 0..run {
+                            let AppEvent::Instr(iev) = &events[i] else { unreachable!() };
+                            out.events += 1;
+                            self.batch_instr(iev, st, &mut out, &mut consumer);
+                            i += 1;
+                        }
+                        continue;
+                    }
                     if self.batch.vec_cooloff > 0 {
                         self.batch.vec_cooloff -= 1;
                         let mut lanes = 0;
@@ -231,6 +292,7 @@ impl Fade {
                         }
                         continue;
                     }
+                    let block = block.get_or_insert_with(|| EventBlock::new(width));
                     block.clear();
                     while i < events.len() {
                         let AppEvent::Instr(iev) = &events[i] else { break };
@@ -240,7 +302,7 @@ impl Fade {
                         i += 1;
                     }
                     out.events += block.len() as u64;
-                    let retired = self.run_block(&block, st, &mut out, &mut consumer);
+                    let retired = self.run_block(block, st, &mut out, &mut consumer);
                     if retired < block.len() {
                         self.batch.vec_poor += 1;
                         if self.batch.vec_poor >= POOR_STREAK {

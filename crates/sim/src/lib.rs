@@ -27,8 +27,8 @@ pub use core_model::{CommitModel, CommitProfile, CoreKind, HandlerExec, SmtArbit
 pub use queue::{BoundedQueue, QueueDepth};
 pub use rng::Rng;
 pub use stats::{
-    gmean, Cdf, CongestionCarry, CycleCi, CycleEstimate, LogHistogram, RunningMean,
-    SampleEstimator,
+    congestion_stratum, gmean, t_critical_975, Cdf, CongestionCarry, CycleCi, CycleEstimate,
+    LogHistogram, RunningMean, SampleEstimator, StratifiedEstimator, StratumStat, WindowSample,
 };
 
 /// Simulation time, in core clock cycles.

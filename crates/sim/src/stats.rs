@@ -196,15 +196,42 @@ impl CycleEstimate {
     }
 }
 
+/// Two-sided 95% Student-t critical value (the 97.5th percentile of the
+/// t distribution) for `df` degrees of freedom.
+///
+/// Sampled runs routinely produce single-digit window counts, where the
+/// normal z=1.96 understates uncertainty badly (t₁ = 12.7, t₅ = 2.57).
+/// Fractional `df` (from Welch–Satterthwaite combination) rounds *down*
+/// to the next tabulated value, which rounds the critical value *up* —
+/// always conservative. Inputs below one degree of freedom clamp to
+/// df = 1.
+pub fn t_critical_975(df: f64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if !df.is_finite() || df < 1.0 {
+        return TABLE[0];
+    }
+    match df.floor() as usize {
+        i @ 1..=30 => TABLE[i - 1],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
 /// Extrapolates cycle counts from periodically sampled cycle-accurate
 /// windows — the timing half of the batched execution mode.
 ///
 /// Each window contributes an `(instructions, cycles)` pair measured by
 /// running the cycle-accurate engine; unsampled (batched) stretches are
 /// charged the ratio-estimator CPI `Σcycles / Σinstrs`. The error bound
-/// is a 95% normal-approximation confidence interval over the
-/// per-window CPI samples, so callers can report estimates as
-/// `cycles ± rel_half_width`.
+/// is a 95% confidence interval on that *same ratio* — Taylor-linearized
+/// (instruction-weighted) variance with a Student-t critical value — so
+/// callers can report estimates as `cycles ± rel_half_width`.
 ///
 /// Cycles are `f64` so callers can sample *differential* quantities —
 /// the batched system mode records each window's monitoring *overhead*
@@ -269,23 +296,42 @@ impl SampleEstimator {
         }
     }
 
-    /// Half-width of the 95% confidence interval of the per-window CPI,
-    /// relative to the absolute mean CPI. `None` with fewer than two
+    /// Half-width of the 95% confidence interval of the ratio-estimator
+    /// CPI, relative to its absolute value. `None` with fewer than two
     /// windows (the `n - 1` variance denominator needs at least one
-    /// degree of freedom) or a zero mean (no relative scale) — the
+    /// degree of freedom) or a zero ratio (no relative scale) — the
     /// degenerate inputs that used to surface as sentinel infinities.
+    ///
+    /// The variance is the Taylor-linearized ratio-estimator form: with
+    /// `R = ΣC/ΣI`, each window's residual is `dⱼ = cⱼ − R·iⱼ`, and
+    /// `Var(R) ≈ n·s²_d / (ΣI)²` where `s²_d = Σdⱼ²/(n−1)`. Unlike a
+    /// plain variance of per-window CPIs, this weighs each window by its
+    /// instruction count — consistent with the point estimate — so the
+    /// short-tail fallback windows the batched mode produces don't get
+    /// outsized influence. The critical value is Student-t at `n − 1`
+    /// degrees of freedom, not a hard-coded z.
     pub fn rel_half_width(&self) -> Option<f64> {
-        if self.windows.len() < 2 {
+        let n = self.windows.len();
+        if n < 2 {
             return None;
         }
-        let cpis: Vec<f64> = self.windows.iter().map(|&(i, c)| c / i as f64).collect();
-        let n = cpis.len() as f64;
-        let mean = cpis.iter().sum::<f64>() / n;
-        if mean == 0.0 {
+        let instrs: f64 = self.windows.iter().map(|&(i, _)| i as f64).sum();
+        let cycles: f64 = self.windows.iter().map(|&(_, c)| c).sum();
+        let ratio = cycles / instrs;
+        if ratio == 0.0 {
             return None;
         }
-        let var = cpis.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1.0);
-        Some(1.96 * (var / n).sqrt() / mean.abs())
+        let ss: f64 = self
+            .windows
+            .iter()
+            .map(|&(i, c)| {
+                let d = c - ratio * i as f64;
+                d * d
+            })
+            .sum();
+        let var_sum = ss * n as f64 / (n as f64 - 1.0); // estimated Var(Σdⱼ)
+        let half = t_critical_975((n - 1) as f64) * var_sum.sqrt() / instrs;
+        Some(half / ratio.abs())
     }
 
     /// Estimated cycles for `instrs` unsampled instructions, with 95%
@@ -304,6 +350,418 @@ impl SampleEstimator {
             }
         });
         CycleEstimate { cycles, ci }
+    }
+}
+
+/// Stratification key for a sampling window's congestion regime at
+/// entry, derived from the [`CongestionCarry`] seed the window was
+/// charged with.
+///
+/// Stratum 0 is "no carried backlog" (the window entered quiesced);
+/// nonzero seeds bucket by magnitude, four powers of two per bucket, so
+/// light and heavy congestion regimes — which have very different
+/// residual-per-event distributions — are never pooled into one
+/// variance estimate.
+pub fn congestion_stratum(seed_cycles: u64) -> u8 {
+    if seed_cycles == 0 {
+        return 0;
+    }
+    let lg = (64 - seed_cycles.leading_zeros()) as u8; // 1..=64
+    1 + ((lg - 1) / 4).min(3)
+}
+
+/// One sampled timing window as consumed by [`StratifiedEstimator`]:
+/// the `(events, cycles)` pair plus its stratification key and control
+/// covariate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowSample {
+    /// Monitored events the window covered.
+    pub events: u64,
+    /// Measured cycles. The batched system mode records each window's
+    /// *residual* overhead, which can dip below zero in a lucky window.
+    pub cycles: f64,
+    /// Congestion-regime stratum the window entered under (see
+    /// [`congestion_stratum`]).
+    pub stratum: u8,
+    /// Control covariate: deterministic base cycles per event of the
+    /// batched stretch adjacent to the window (0 when unknown). Only
+    /// the variance estimate uses it; the point estimate never does.
+    pub covariate: f64,
+}
+
+/// Per-stratum slice of a [`StratifiedEstimator`]'s interval, for
+/// reporting. Strata thinner than the merge threshold are folded into a
+/// neighbouring bucket before these are computed, so every row has
+/// enough windows for its own variance estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StratumStat {
+    /// Stratum key (0 = entered with no carried backlog; higher keys =
+    /// exponentially larger backlog buckets). After merging, the key of
+    /// the group's lowest member.
+    pub stratum: u8,
+    /// Windows in this (merged) stratum.
+    pub windows: usize,
+    /// Events covered by this stratum's windows.
+    pub events: u64,
+    /// Total measured cycles in this stratum.
+    pub cycles: f64,
+    /// The stratum's own ratio estimate, cycles per event.
+    pub cpi: f64,
+    /// Relative half-width of the stratum's own 95% CI, when defined.
+    pub rel_half_width: Option<f64>,
+    /// Fitted control-variate coefficient, when the regression
+    /// adjustment was applied to this stratum.
+    pub beta: Option<f64>,
+}
+
+/// Variance decomposition of one merged stratum — internal to
+/// [`StratifiedEstimator`].
+struct GroupVar {
+    stratum: u8,
+    n: usize,
+    events: f64,
+    cycles: f64,
+    /// `n_h · s²_h`: this stratum's contribution to `Var(Σdⱼ)`.
+    var_contrib: f64,
+    /// Degrees of freedom behind `s²_h` (`n−1`, or `n−2` with the
+    /// control variate fitted).
+    df: f64,
+    beta: Option<f64>,
+}
+
+/// Stratified ratio estimator with a control variate — the tightened
+/// replacement for [`SampleEstimator`] in the batched system mode.
+///
+/// The **point estimate** is the plain pooled ratio `ΣC/ΣE`, identical
+/// to what [`SampleEstimator`] reports for the same windows:
+/// post-stratification with sample-share weights `W_h = E_h/E` gives
+/// `Σ_h W_h·(C_h/E_h) = ΣC/E` exactly, so stratification can only
+/// change the *interval*, never the estimate.
+///
+/// The **interval** exploits two structures in the batched mode's
+/// window stream:
+///
+/// 1. *Stratification.* Windows entered under different congestion
+///    regimes (keyed by [`congestion_stratum`] of the carried seed)
+///    have very different residual distributions. Grouping them makes
+///    each stratum's ratio residuals `dⱼ = cⱼ − R_h·eⱼ` small, and the
+///    combined variance `Var(R) = (1/E²)·Σ_h n_h·s²_h` drops the
+///    between-strata component entirely. Strata with fewer than
+///    [`StratifiedEstimator::MIN_STRATUM_WINDOWS`] windows merge into
+///    the adjacent (next-lighter) bucket so no tiny-n stratum inflates
+///    the Student-t penalty.
+/// 2. *Control variate.* The deterministic base cycles per event of the
+///    batched stretch adjacent to each window predict part of the
+///    window's residual. Within each stratum, a regression coefficient
+///    `β` is fitted and `dⱼ` is replaced by `dⱼ − β(zⱼ − z̄)`; the
+///    centering keeps `Σdⱼ` (and hence the point estimate) untouched
+///    while the fit removes the explained variance. One degree of
+///    freedom pays for the fitted slope.
+///
+/// The strata intervals combine via a Welch–Satterthwaite effective
+/// degrees of freedom and a Student-t critical value.
+#[derive(Clone, Debug, Default)]
+pub struct StratifiedEstimator {
+    samples: Vec<WindowSample>,
+}
+
+impl StratifiedEstimator {
+    /// Strata with fewer windows than this merge into the adjacent
+    /// lighter-congestion bucket: below three windows a stratum's own
+    /// variance estimate is so noisy (and its t penalty so steep) that
+    /// keeping it separate widens the combined interval.
+    pub const MIN_STRATUM_WINDOWS: usize = 3;
+
+    /// Minimum windows in a (merged) stratum before the control-variate
+    /// regression is fitted — with fewer, spending a degree of freedom
+    /// on the slope costs more than the variance it removes (at n = 4
+    /// the residual df drops from 3 to 2 and the t critical value
+    /// jumps from 3.18 to 4.30, which a noise-fitted slope never
+    /// repays).
+    pub const CV_MIN_WINDOWS: usize = 6;
+
+    /// Creates an estimator with no windows.
+    pub fn new() -> Self {
+        StratifiedEstimator::default()
+    }
+
+    /// Builds an estimator from pre-measured samples. Zero-event
+    /// windows carry no per-event information and are discarded,
+    /// exactly as [`StratifiedEstimator::record_window`] would.
+    pub fn from_samples(samples: &[WindowSample]) -> Self {
+        StratifiedEstimator {
+            samples: samples.iter().copied().filter(|s| s.events > 0).collect(),
+        }
+    }
+
+    /// Records one sampled window. Windows with zero events carry no
+    /// per-event information and are ignored.
+    pub fn record_window(&mut self, events: u64, cycles: f64, stratum: u8, covariate: f64) {
+        if events > 0 {
+            self.samples.push(WindowSample {
+                events,
+                cycles,
+                stratum,
+                covariate,
+            });
+        }
+    }
+
+    /// The recorded samples, in sampling order.
+    pub fn samples(&self) -> &[WindowSample] {
+        &self.samples
+    }
+
+    /// Number of recorded windows.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no window has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Pooled ratio-estimator cycles-per-event over all windows
+    /// (0 when empty). Stratification never alters this value.
+    pub fn cpi(&self) -> f64 {
+        let events: u64 = self.samples.iter().map(|s| s.events).sum();
+        let cycles: f64 = self.samples.iter().map(|s| s.cycles).sum();
+        if events == 0 {
+            0.0
+        } else {
+            cycles / events as f64
+        }
+    }
+
+    /// Groups samples by stratum (ascending key) and merges groups
+    /// thinner than [`Self::MIN_STRATUM_WINDOWS`] into the adjacent
+    /// lighter bucket (or the next heavier one for the lightest).
+    fn groups(&self) -> Vec<(u8, Vec<WindowSample>)> {
+        let mut map: std::collections::BTreeMap<u8, Vec<WindowSample>> =
+            std::collections::BTreeMap::new();
+        for &s in &self.samples {
+            map.entry(s.stratum).or_default().push(s);
+        }
+        let mut groups: Vec<(u8, Vec<WindowSample>)> = map.into_iter().collect();
+        let mut i = 0;
+        while groups.len() > 1 && i < groups.len() {
+            if groups[i].1.len() < Self::MIN_STRATUM_WINDOWS {
+                let (_, small) = groups.remove(i);
+                let into = i.saturating_sub(1);
+                groups[into].1.extend(small);
+            } else {
+                i += 1;
+            }
+        }
+        groups
+    }
+
+    /// Variance decomposition of one merged stratum: ratio residuals
+    /// against the stratum's own ratio, optionally control-variate
+    /// adjusted, yielding the stratum's `n_h·s²_h` contribution.
+    fn group_var(stratum: u8, g: &[WindowSample]) -> GroupVar {
+        let n = g.len();
+        let events: f64 = g.iter().map(|s| s.events as f64).sum();
+        let cycles: f64 = g.iter().map(|s| s.cycles).sum();
+        let ratio = if events > 0.0 { cycles / events } else { 0.0 };
+        let mut d: Vec<f64> = g.iter().map(|s| s.cycles - ratio * s.events as f64).collect();
+
+        // Control-variate regression on the centered covariate: the
+        // slope soaks up the residual variance the adjacent batched
+        // stretch already explains. Centering means Σ(adjusted d) =
+        // Σd − β·0 = Σd, so nothing downstream of the variance moves.
+        let mut beta = None;
+        let mut df = n as f64 - 1.0;
+        if n >= Self::CV_MIN_WINDOWS {
+            let zbar: f64 = g.iter().map(|s| s.covariate).sum::<f64>() / n as f64;
+            let szz: f64 = g.iter().map(|s| (s.covariate - zbar).powi(2)).sum();
+            if szz > 0.0 {
+                let sdz: f64 = g
+                    .iter()
+                    .zip(&d)
+                    .map(|(s, &dj)| dj * (s.covariate - zbar))
+                    .sum();
+                let b = sdz / szz;
+                for (s, dj) in g.iter().zip(&mut d) {
+                    *dj -= b * (s.covariate - zbar);
+                }
+                beta = Some(b);
+                df = n as f64 - 2.0;
+            }
+        }
+
+        let ss: f64 = d.iter().map(|dj| dj * dj).sum();
+        let var_contrib = if df >= 1.0 {
+            n as f64 * ss / df
+        } else {
+            0.0 // single-window stratum: no variance information
+        };
+        GroupVar {
+            stratum,
+            n,
+            events,
+            cycles,
+            var_contrib,
+            df: df.max(0.0),
+            beta,
+        }
+    }
+
+    fn group_vars(&self) -> Vec<GroupVar> {
+        self.groups()
+            .iter()
+            .map(|(k, g)| Self::group_var(*k, g))
+            .collect()
+    }
+
+    /// Half-width of the stratified 95% confidence interval of the
+    /// pooled CPI, relative to its absolute value. `None` with fewer
+    /// than two windows or a zero ratio, mirroring
+    /// [`SampleEstimator::rel_half_width`].
+    ///
+    /// Combined variance: `Var(R) = (1/E²)·Σ_h n_h·s²_h` (sample-share
+    /// weights make the stratum weights cancel); critical value:
+    /// Student-t at the Welch–Satterthwaite effective degrees of
+    /// freedom `(Σ_h v_h)² / Σ_h(v_h²/df_h)` with `v_h = n_h·s²_h`.
+    pub fn rel_half_width(&self) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let events: f64 = self.samples.iter().map(|s| s.events as f64).sum();
+        let cycles: f64 = self.samples.iter().map(|s| s.cycles).sum();
+        let ratio = cycles / events;
+        if ratio == 0.0 {
+            return None;
+        }
+        let vars = self.group_vars();
+        let var_sum: f64 = vars.iter().map(|v| v.var_contrib).sum();
+        if var_sum <= 0.0 {
+            return Some(0.0); // exact: every stratum's windows agree
+        }
+        let ws_denom: f64 = vars
+            .iter()
+            .filter(|v| v.df >= 1.0 && v.var_contrib > 0.0)
+            .map(|v| v.var_contrib * v.var_contrib / v.df)
+            .sum();
+        let df_eff = if ws_denom > 0.0 {
+            var_sum * var_sum / ws_denom
+        } else {
+            1.0
+        };
+        let half = t_critical_975(df_eff) * var_sum.sqrt() / events;
+        Some(half / ratio.abs())
+    }
+
+    /// Per-stratum interval breakdown, one row per *merged* stratum in
+    /// ascending key order — the reporting view behind the bench
+    /// artifact's per-stratum columns.
+    pub fn strata(&self) -> Vec<StratumStat> {
+        self.group_vars()
+            .into_iter()
+            .map(|v| {
+                let cpi = if v.events > 0.0 { v.cycles / v.events } else { 0.0 };
+                let rel = if v.df >= 1.0 && cpi != 0.0 && v.events > 0.0 {
+                    let half = t_critical_975(v.df) * v.var_contrib.sqrt() / v.events;
+                    Some(half / cpi.abs())
+                } else {
+                    None
+                };
+                StratumStat {
+                    stratum: v.stratum,
+                    windows: v.n,
+                    events: v.events as u64,
+                    cycles: v.cycles,
+                    cpi,
+                    rel_half_width: rel,
+                    beta: v.beta,
+                }
+            })
+            .collect()
+    }
+
+    /// Estimated cycles for `events` unsampled events, with 95%
+    /// confidence bounds — same contract as
+    /// [`SampleEstimator::estimate`], but with the stratified interval.
+    pub fn estimate(&self, events: u64) -> CycleEstimate {
+        let cpi = self.cpi();
+        let cycles = cpi * events as f64;
+        let ci = self.rel_half_width().map(|rel| {
+            let half = cycles.abs() * rel;
+            CycleCi {
+                lo: cycles - half,
+                hi: cycles + half,
+                rel_half_width: rel,
+            }
+        });
+        CycleEstimate { cycles, ci }
+    }
+
+    /// Global event-weighted control-variate fit across *all* windows:
+    /// `(slope, weighted covariate mean)`, or `None` when too few
+    /// windows carry a covariate signal to spend a degree of freedom
+    /// on. The per-stratum fits in [`Self::rel_half_width`] absorb
+    /// variance; this single pooled slope carries the regression
+    /// estimator's *point* correction in
+    /// [`Self::estimate_with_covariate_mean`], and is deliberately
+    /// blind to stratum labels so stratification still never moves the
+    /// point estimate.
+    fn global_fit(&self) -> Option<(f64, f64)> {
+        let n = self.samples.len();
+        if n < Self::CV_MIN_WINDOWS {
+            return None;
+        }
+        let events: f64 = self.samples.iter().map(|s| s.events as f64).sum();
+        if events <= 0.0 {
+            return None;
+        }
+        let ratio = self.samples.iter().map(|s| s.cycles).sum::<f64>() / events;
+        let zbar: f64 =
+            self.samples.iter().map(|s| s.events as f64 * s.covariate).sum::<f64>() / events;
+        let szz: f64 = self
+            .samples
+            .iter()
+            .map(|s| s.events as f64 * (s.covariate - zbar).powi(2))
+            .sum();
+        if szz <= 0.0 {
+            return None;
+        }
+        let sdz: f64 = self
+            .samples
+            .iter()
+            .map(|s| (s.cycles - ratio * s.events as f64) * (s.covariate - zbar))
+            .sum();
+        Some((sdz / szz, zbar))
+    }
+
+    /// Regression-estimator variant of [`Self::estimate`]: extrapolates
+    /// at the *population* covariate mean instead of the sample's.
+    ///
+    /// The control variate is only statistically sound as a regression
+    /// estimator — conditioning the variance on a covariate while
+    /// leaving the point estimate alone understates the unadjusted
+    /// estimator's error. When the covariate is deterministic and its
+    /// population mean over the extrapolated stretches is known (the
+    /// batched mode's base-cycles-per-event covariate qualifies: every
+    /// stretch's base is computed exactly), the sound form adjusts the
+    /// point by `β·(z̄_pop − z̄_sample)` and then legitimately claims
+    /// the regression residual variance. Periodic sampling pairs every
+    /// stretch with a window, so the two means nearly coincide and the
+    /// adjustment is a small bias correction — but it is what makes
+    /// the tightened interval honest.
+    pub fn estimate_with_covariate_mean(&self, events: u64, pop_mean: f64) -> CycleEstimate {
+        let mut e = self.estimate(events);
+        if let Some((beta, zbar)) = self.global_fit() {
+            if pop_mean.is_finite() {
+                let shift = beta * (pop_mean - zbar) * events as f64;
+                e.cycles += shift;
+                if let Some(ci) = &mut e.ci {
+                    ci.lo += shift;
+                    ci.hi += shift;
+                }
+            }
+        }
+        e
     }
 }
 
@@ -578,6 +1036,201 @@ mod tests {
         let e = SampleEstimator::from_windows(&[(100, -50.0), (100, 50.0)]);
         assert_eq!(e.rel_half_width(), None);
         assert_eq!(e.estimate(1_000).ci, None);
+    }
+
+    #[test]
+    fn t_critical_tracks_degrees_of_freedom() {
+        assert!((t_critical_975(1.0) - 12.706).abs() < 1e-9);
+        assert!((t_critical_975(5.0) - 2.571).abs() < 1e-9);
+        assert!((t_critical_975(29.0) - 2.045).abs() < 1e-9);
+        assert!((t_critical_975(200.0) - 1.96).abs() < 1e-9);
+        // Fractional df rounds down (critical value up): conservative.
+        assert!((t_critical_975(5.9) - 2.571).abs() < 1e-9);
+        // Degenerate inputs clamp to the widest tabulated value.
+        assert!((t_critical_975(0.2) - 12.706).abs() < 1e-9);
+        assert!((t_critical_975(f64::NAN) - 12.706).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_n_intervals_use_student_t_not_z() {
+        // Same per-window CPI spread at n = 2 and n = 30; the n = 2
+        // interval must be wider by far more than the √n factor alone —
+        // the t₁ = 12.706 critical value vs t₂₉ = 2.045.
+        let two = SampleEstimator::from_windows(&[(100, 240.0), (100, 260.0)]);
+        let mut wins = Vec::new();
+        for k in 0..30 {
+            wins.push((100, if k % 2 == 0 { 240.0 } else { 260.0 }));
+        }
+        let thirty = SampleEstimator::from_windows(&wins);
+        let rel2 = two.rel_half_width().unwrap();
+        let rel30 = thirty.rel_half_width().unwrap();
+        // n = 2: sd of Σd is 10·√2·√2 = 20 over ΣC = 500, CPI 2.5 →
+        // rel = 12.706 · 20/200/2.5... compute directly instead:
+        // d = ∓10, s² = 200, Var(Σd) = n·s² = 400, half = 12.706·20,
+        // rel = 12.706·20/500 ≈ 0.5082.
+        assert!((rel2 - 12.706 * 20.0 / 500.0).abs() < 1e-9);
+        // n = 30: Var(Σd) = 30·(30·100/29), half = t₂₉·√(Σ)… just pin
+        // the closed form.
+        let var_sum: f64 = 30.0 * (30.0 * 100.0 / 29.0);
+        assert!((rel30 - 2.045 * var_sum.sqrt() / 7_500.0).abs() < 1e-9);
+        assert!(rel2 > 6.0 * rel30, "t must dominate at tiny n: {rel2} vs {rel30}");
+    }
+
+    #[test]
+    fn ci_weighs_windows_by_instruction_count() {
+        // A short window with a wild CPI and a long window near the
+        // ratio. The unweighted per-window-CPI variance treats both
+        // deviations equally; the ratio-estimator (linearized) variance
+        // weighs residuals in *cycles*, so the short window's influence
+        // shrinks with its length. Pin the linearized closed form.
+        let e = SampleEstimator::from_windows(&[(10, 60.0), (1_000, 2_000.0)]);
+        let ratio: f64 = 2060.0 / 1010.0;
+        let d1: f64 = 60.0 - ratio * 10.0;
+        let d2: f64 = 2000.0 - ratio * 1000.0;
+        let var_sum = (d1 * d1 + d2 * d2) * 2.0; // n/(n−1) = 2
+        let want = 12.706 * var_sum.sqrt() / 1010.0 / ratio;
+        assert!((e.rel_half_width().unwrap() - want).abs() < 1e-9);
+        // Sanity: the residuals are equal-and-opposite small numbers,
+        // not the enormous per-window CPI gap (6.0 vs 2.0).
+        assert!((d1 + d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_stratum_buckets_by_backlog_magnitude() {
+        assert_eq!(congestion_stratum(0), 0);
+        assert_eq!(congestion_stratum(1), 1);
+        assert_eq!(congestion_stratum(15), 1);
+        assert_eq!(congestion_stratum(16), 2);
+        assert_eq!(congestion_stratum(255), 2);
+        assert_eq!(congestion_stratum(256), 3);
+        assert_eq!(congestion_stratum(4_095), 3);
+        assert_eq!(congestion_stratum(4_096), 4);
+        assert_eq!(congestion_stratum(u64::MAX), 4);
+    }
+
+    #[test]
+    fn stratification_never_moves_the_point_estimate() {
+        // Identical windows fed to the pooled and stratified
+        // estimators: the point estimates agree exactly, whatever the
+        // stratum labels, because sample-share weights telescope back
+        // to the pooled ratio.
+        let wins: Vec<(u64, f64)> = vec![
+            (1_000, 1_500.0),
+            (900, 4_000.0),
+            (1_100, 1_300.0),
+            (1_000, 3_900.0),
+            (800, 1_100.0),
+            (1_200, 4_700.0),
+            (1_000, 1_450.0),
+            (1_000, 4_100.0),
+        ];
+        let pooled = SampleEstimator::from_windows(&wins);
+        let strat = StratifiedEstimator::from_samples(
+            &wins
+                .iter()
+                .enumerate()
+                .map(|(k, &(e, c))| WindowSample {
+                    events: e,
+                    cycles: c,
+                    stratum: (k % 2) as u8,
+                    covariate: 0.0,
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert!((pooled.cpi() - strat.cpi()).abs() < 1e-12);
+        let est_p = pooled.estimate(100_000);
+        let est_s = strat.estimate(100_000);
+        assert!((est_p.cycles - est_s.cycles).abs() < 1e-6);
+        // The windows alternate between a ~1.4 and a ~4.0 CPI regime;
+        // stratifying on that regime must tighten the interval.
+        assert!(
+            strat.rel_half_width().unwrap() < pooled.rel_half_width().unwrap(),
+            "stratified {:?} !< pooled {:?}",
+            strat.rel_half_width(),
+            pooled.rel_half_width()
+        );
+    }
+
+    #[test]
+    fn stratified_single_stratum_matches_pooled_interval() {
+        // With every window in one stratum and no covariate signal, the
+        // stratified interval degenerates to the pooled ratio interval.
+        let wins = [(100u64, 200.0), (120, 310.0), (90, 180.0), (110, 260.0)];
+        let pooled = SampleEstimator::from_windows(&wins);
+        let strat = StratifiedEstimator::from_samples(
+            &wins
+                .iter()
+                .map(|&(e, c)| WindowSample {
+                    events: e,
+                    cycles: c,
+                    stratum: 0,
+                    covariate: 0.0,
+                })
+                .collect::<Vec<_>>(),
+        );
+        let a = pooled.rel_half_width().unwrap();
+        let b = strat.rel_half_width().unwrap();
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn control_variate_tightens_but_never_shifts() {
+        // Residuals perfectly explained by the covariate: the CV fit
+        // removes essentially all variance, while the point estimate is
+        // identical with and without the covariate.
+        let mut with = StratifiedEstimator::new();
+        let mut without = StratifiedEstimator::new();
+        for k in 0..8u64 {
+            let z = k as f64;
+            let cycles = 200.0 + 40.0 * (z - 3.5); // linear in z, mean 200
+            with.record_window(100, cycles, 0, z);
+            without.record_window(100, cycles, 0, 0.0);
+        }
+        assert!((with.cpi() - without.cpi()).abs() < 1e-12);
+        assert!((with.cpi() - 2.0).abs() < 1e-12);
+        let tight = with.rel_half_width().unwrap();
+        let loose = without.rel_half_width().unwrap();
+        assert!(tight < loose / 10.0, "CV should kill a linear residual: {tight} vs {loose}");
+        let strata = with.strata();
+        assert_eq!(strata.len(), 1);
+        assert!((strata[0].beta.unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thin_strata_merge_into_neighbours() {
+        // Six windows in stratum 0, one stray window each in strata 2
+        // and 4: the strays merge down rather than standing alone with
+        // zero degrees of freedom.
+        let mut e = StratifiedEstimator::new();
+        for _ in 0..6 {
+            e.record_window(100, 250.0, 0, 0.0);
+        }
+        e.record_window(100, 400.0, 2, 0.0);
+        e.record_window(100, 500.0, 4, 0.0);
+        let strata = e.strata();
+        assert_eq!(strata.len(), 1, "all windows fold into one group: {strata:?}");
+        assert_eq!(strata[0].windows, 8);
+        assert!(e.rel_half_width().unwrap().is_finite());
+    }
+
+    #[test]
+    fn stratified_degenerate_cases_mirror_pooled() {
+        let mut e = StratifiedEstimator::new();
+        assert!(e.is_empty());
+        assert_eq!(e.cpi(), 0.0);
+        assert_eq!(e.rel_half_width(), None);
+        assert_eq!(e.estimate(500).ci, None);
+        e.record_window(0, 999.0, 1, 1.0); // zero-event window discarded
+        assert!(e.is_empty());
+        e.record_window(10, 30.0, 1, 1.0);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.rel_half_width(), None);
+        // Perfectly cancelling windows: zero ratio, no relative scale.
+        let z = StratifiedEstimator::from_samples(&[
+            WindowSample { events: 100, cycles: -50.0, stratum: 0, covariate: 0.0 },
+            WindowSample { events: 100, cycles: 50.0, stratum: 0, covariate: 0.0 },
+        ]);
+        assert_eq!(z.rel_half_width(), None);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Statistical-coverage tests for the sampling estimators.
+//!
+//! A confidence interval's one job is to cover the true parameter at
+//! its nominal rate. These tests simulate many independent runs of
+//! windows drawn from a *known* residual-per-event model and check that
+//! the nominal 95% interval empirically covers the truth in at least
+//! 90% of runs — for the pooled ratio estimator ([`SampleEstimator`])
+//! and the stratified, control-variate one ([`StratifiedEstimator`]).
+//! The tolerance (90% vs the nominal 95%) absorbs Monte-Carlo noise
+//! and the Taylor linearization's small-n optimism without letting a
+//! broken interval (the old unweighted-CPI z-interval under-covered
+//! small runs badly) slip through.
+//!
+//! A proptest pins the structural invariant the system relies on:
+//! stratum labels and covariates may change the *interval*, never the
+//! *point estimate*.
+
+use fade_sim::{Rng, SampleEstimator, StratifiedEstimator, WindowSample};
+use proptest::prelude::*;
+
+/// Runs per coverage experiment. Enough that a true-95% interval fails
+/// the ≥90% bar with probability ~1e-5 (binomial tail), small enough
+/// to stay fast in debug builds.
+const RUNS: u64 = 400;
+
+/// Windows per simulated run — matches the order of magnitude the
+/// batched mode produces at default sampling (about a dozen).
+const WINDOWS: usize = 12;
+
+/// Standard normal via Box–Muller over the substrate RNG.
+fn gaussian(rng: &mut Rng) -> f64 {
+    let u1 = rng.unit_f64().max(1e-12);
+    let u2 = rng.unit_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// One simulated run: fixed window lengths, per-window cycles
+/// `mu_j·e_j + noise`, where `mu_j` depends on the (deterministic)
+/// stratum assignment and the noise is optionally correlated with a
+/// covariate. The composition is deterministic so the pooled ratio has
+/// a well-defined true value across runs.
+fn simulate(seed: u64, beta: f64) -> (Vec<WindowSample>, f64) {
+    let mut rng = Rng::seed_from(seed);
+    let mus = [1.5, 4.0]; // light vs congested regime residual/event
+    let sd = 600.0; // cycles of window-level noise
+    let mut samples = Vec::with_capacity(WINDOWS);
+    let mut true_cycles = 0.0;
+    let mut events_total = 0.0;
+    for j in 0..WINDOWS {
+        let events = 3_000 + 500 * (j as u64 % 3); // 3000/3500/4000
+        let stratum = (j % 2) as u8;
+        let mu = mus[stratum as usize];
+        let z = 2.0 + rng.unit_f64(); // covariate, mean ~2.5
+        let noise = beta * (z - 2.5) + sd * gaussian(&mut rng);
+        samples.push(WindowSample {
+            events,
+            cycles: mu * events as f64 + noise,
+            stratum,
+            covariate: z,
+        });
+        true_cycles += mu * events as f64;
+        events_total += events as f64;
+    }
+    (samples, true_cycles / events_total)
+}
+
+fn covers(lo: f64, hi: f64, truth: f64, events: u64) -> bool {
+    let t = truth * events as f64;
+    lo <= t && t <= hi
+}
+
+#[test]
+fn pooled_interval_covers_at_nominal_rate() {
+    let mut hits = 0u64;
+    for seed in 0..RUNS {
+        let (samples, truth) = simulate(seed, 0.0);
+        let windows: Vec<(u64, f64)> = samples.iter().map(|s| (s.events, s.cycles)).collect();
+        let e = SampleEstimator::from_windows(&windows);
+        let est = e.estimate(1_000_000);
+        assert!(est.ci.is_some());
+        if covers(est.lo(), est.hi(), truth, 1_000_000) {
+            hits += 1;
+        }
+    }
+    let rate = hits as f64 / RUNS as f64;
+    assert!(rate >= 0.90, "pooled 95% CI covered only {rate:.3}");
+}
+
+#[test]
+fn stratified_interval_covers_at_nominal_rate() {
+    // Noise partially explained by the covariate (β = 800 cycles per
+    // unit): the control-variate fit tightens the interval, and the
+    // tightened interval must still cover.
+    let mut hits = 0u64;
+    for seed in 0..RUNS {
+        let (samples, truth) = simulate(seed, 800.0);
+        let e = StratifiedEstimator::from_samples(&samples);
+        let est = e.estimate(1_000_000);
+        assert!(est.ci.is_some());
+        if covers(est.lo(), est.hi(), truth, 1_000_000) {
+            hits += 1;
+        }
+    }
+    let rate = hits as f64 / RUNS as f64;
+    assert!(rate >= 0.90, "stratified 95% CI covered only {rate:.3}");
+}
+
+#[test]
+fn stratified_interval_is_tighter_on_regime_mixtures() {
+    // On a stream whose windows alternate between two residual regimes
+    // keyed by the stratum, the stratified interval should beat the
+    // pooled one in aggregate — that is the whole point of carrying
+    // the congestion key.
+    let mut tighter = 0u64;
+    let mut defined = 0u64;
+    for seed in 0..RUNS {
+        let (samples, _) = simulate(seed, 0.0);
+        let windows: Vec<(u64, f64)> = samples.iter().map(|s| (s.events, s.cycles)).collect();
+        let pooled = SampleEstimator::from_windows(&windows).rel_half_width();
+        let strat = StratifiedEstimator::from_samples(&samples).rel_half_width();
+        if let (Some(p), Some(s)) = (pooled, strat) {
+            defined += 1;
+            if s < p {
+                tighter += 1;
+            }
+        }
+    }
+    assert_eq!(defined, RUNS);
+    let rate = tighter as f64 / defined as f64;
+    assert!(
+        rate >= 0.80,
+        "stratified beat pooled in only {rate:.3} of regime-mixture runs"
+    );
+}
+
+proptest! {
+    /// Stratum labels and covariates never move the point estimate:
+    /// the stratified estimator's CPI (and hence its extrapolated
+    /// cycles) equals the pooled ratio of the same windows exactly,
+    /// whatever the labels — only the interval may differ.
+    #[test]
+    fn stratification_only_changes_the_interval(
+        windows in prop::collection::vec(
+            // (events, milli-cycles, stratum, milli-covariate) — the
+            // shim has no f64 range strategy, so integers scale down.
+            (1u64..10_000, 0u64..1_000_000_000, 0u8..5, 0u64..100_000),
+            2..40,
+        ),
+        extrapolate in 1u64..10_000_000,
+    ) {
+        let samples: Vec<WindowSample> = windows
+            .iter()
+            .map(|&(events, mcycles, stratum, mcov)| WindowSample {
+                events,
+                cycles: mcycles as f64 / 1e3 - 10_000.0, // residuals can be negative
+                stratum,
+                covariate: mcov as f64 / 1e3,
+            })
+            .collect();
+        let pooled = SampleEstimator::from_windows(
+            &samples.iter().map(|s| (s.events, s.cycles)).collect::<Vec<_>>(),
+        );
+        let strat = StratifiedEstimator::from_samples(&samples);
+        // Also relabel everything to one stratum: same point estimate.
+        let flat = StratifiedEstimator::from_samples(
+            &samples
+                .iter()
+                .map(|s| WindowSample { stratum: 0, covariate: 0.0, ..*s })
+                .collect::<Vec<_>>(),
+        );
+        let tol = 1e-9 * (1.0 + pooled.cpi().abs());
+        prop_assert!((strat.cpi() - pooled.cpi()).abs() <= tol);
+        prop_assert!((flat.cpi() - pooled.cpi()).abs() <= tol);
+        let ep = pooled.estimate(extrapolate).cycles;
+        let es = strat.estimate(extrapolate).cycles;
+        let ctol = 1e-9 * (1.0 + ep.abs());
+        prop_assert!((es - ep).abs() <= ctol);
+    }
+}

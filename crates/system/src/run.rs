@@ -69,8 +69,8 @@ impl UtilBreakdown {
 
 /// How a batched run's cycle count was estimated: the sampled
 /// cycle-accurate windows and the extrapolation's 95% confidence bound
-/// (see [`fade_sim::SampleEstimator`]).
-#[derive(Clone, Copy, Debug)]
+/// (see [`fade_sim::StratifiedEstimator`]).
+#[derive(Clone, Debug)]
 pub struct SamplingSummary {
     /// Cycle-accurate windows the estimate is built from.
     pub windows: usize,
@@ -96,14 +96,23 @@ pub struct SamplingSummary {
     /// accelerator stalls, imperfect overlap) charged per batched
     /// event on top of the exact base.
     pub residual_per_event: f64,
-    /// Relative half-width of the 95% confidence interval on
-    /// `residual_per_event` (`None` when fewer than two windows were
-    /// sampled — a point estimate with no variance information).
+    /// Relative half-width of the 95% confidence interval on the
+    /// total cycle estimate — `(cycles_hi - cycles_lo) / 2` over the
+    /// estimated cycles, the production rate's error bound. Only the
+    /// sampled residual carries uncertainty; the simulated cycles and
+    /// the deterministic base are exact, so the residual's absolute
+    /// band divided by the full estimate is the rate's relative CI.
+    /// `None` when fewer than two windows were sampled — a point
+    /// estimate with no variance information.
     pub rel_half_width: Option<f64>,
     /// Lower confidence bound on the total cycle count.
     pub cycles_lo: u64,
     /// Upper confidence bound on the total cycle count.
     pub cycles_hi: u64,
+    /// Per-congestion-stratum interval breakdown (one row per merged
+    /// stratum, ascending key order): the windows, the stratum's own
+    /// ratio and CI, and its control-variate coefficient when fitted.
+    pub strata: Vec<fade_sim::StratumStat>,
 }
 
 /// Everything measured in one experiment run.

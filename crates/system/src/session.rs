@@ -47,6 +47,7 @@ use std::time::Instant;
 
 use fade::{BatchStats, FadeProgram, FadeStats};
 use fade_monitors::Monitor;
+use fade_sim::{StratumStat, WindowSample};
 use fade_shadow::{BudgetExceeded, MetadataState, ShadowCounters};
 use fade_trace::{BenchProfile, DegradationReport, TraceRecord};
 
@@ -728,6 +729,14 @@ impl Session {
         self.sys.estimated_total_cycles()
     }
 
+    /// Relative half-width of the 95% CI on
+    /// [`Session::estimated_total_cycles`] — the production rate's
+    /// error bound (see [`MonitoringSystem::rel_half_width`]; `None`
+    /// with fewer than two sampled windows).
+    pub fn rel_half_width(&self) -> Option<f64> {
+        self.sys.rel_half_width()
+    }
+
     /// Total application instructions retired so far.
     pub fn instrs(&self) -> u64 {
         self.sys.instrs()
@@ -748,10 +757,18 @@ impl Session {
         self.sys.fade_stats()
     }
 
-    /// The `(events, residual cycles)` windows batched execution
-    /// sampled so far (empty for cycle-accurate sessions).
-    pub fn sampled_windows(&self) -> &[(u64, f64)] {
+    /// The residual-overhead windows batched execution sampled so far,
+    /// each with its congestion stratum and control covariate (empty
+    /// for cycle-accurate sessions).
+    pub fn sampled_windows(&self) -> &[WindowSample] {
         self.sys.sampled_windows()
+    }
+
+    /// Per-congestion-stratum breakdown of the sampling interval (see
+    /// [`MonitoringSystem::sampling_strata`]; empty for cycle-accurate
+    /// sessions).
+    pub fn sampling_strata(&self) -> Vec<StratumStat> {
+        self.sys.sampling_strata()
     }
 
     /// Carried-congestion handler cycles seeded into sampling windows

@@ -12,8 +12,8 @@ use fade_isa::{instr_event_for, AppEvent, HighLevelEvent};
 use fade_monitors::{monitor_by_name, EventClass, Monitor};
 use fade_shadow::MetadataState;
 use fade_sim::{
-    BoundedQueue, CommitModel, CongestionCarry, CoreKind, HandlerExec, LogHistogram, Rng,
-    SampleEstimator, SmtArbiter,
+    congestion_stratum, BoundedQueue, CommitModel, CongestionCarry, CoreKind, HandlerExec,
+    LogHistogram, Rng, SmtArbiter, StratifiedEstimator, StratumStat, WindowSample,
 };
 use fade_trace::{BenchProfile, SyntheticProgram, TraceRecord};
 
@@ -233,10 +233,18 @@ pub struct MonitoringSystem {
     /// Overhead scales with monitored events (handler and stall work is
     /// per event), so extrapolation is per event — per-instruction
     /// extrapolation would harmonically under-weight event-sparse
-    /// regions.
-    estimator: SampleEstimator,
+    /// regions. Windows are keyed by their congestion stratum at entry
+    /// and carry the adjacent stretch's base cycles per event as a
+    /// control covariate, so the interval (never the point estimate)
+    /// tightens with both structures.
+    estimator: StratifiedEstimator,
     /// Index into `estimator` windows at `start_measure`.
     measure_from: usize,
+    /// Base cycles of the batched stretch since the last sampling
+    /// window — the control covariate's numerator for the next window.
+    stretch_base_cycles: u64,
+    /// Events of the batched stretch since the last sampling window.
+    stretch_events: u64,
     /// Congestion summary carried from each batched stretch into the
     /// next sampling window: the handler-work backlog the stretch's
     /// dispatch stream would have left in the bounded queues. Seeded
@@ -446,8 +454,10 @@ impl MonitoringSystem {
             events_seen: 0,
             producer_paused: false,
             instr_cap: None,
-            estimator: SampleEstimator::new(),
+            estimator: StratifiedEstimator::new(),
             measure_from: 0,
+            stretch_base_cycles: 0,
+            stretch_events: 0,
             // The backlog a stretch can hand the next window is bounded
             // by the events the decoupling queues hold: the unfiltered
             // queue, the event queue ahead of it (whose entries may all
@@ -684,12 +694,35 @@ impl MonitoringSystem {
         self.seeded_cycles_total
     }
 
-    /// Relative half-width of the 95% CI on the per-event residual,
-    /// over every window sampled so far (`None` with fewer than two
-    /// windows) — the error bound behind
-    /// [`MonitoringSystem::estimated_total_cycles`].
+    /// Relative half-width of the 95% CI on
+    /// [`MonitoringSystem::estimated_total_cycles`] — the production
+    /// rate's error bound (`None` with fewer than two windows). Only
+    /// the sampled residual is uncertain; the simulated cycles and the
+    /// deterministic base of batched stretches are exact. The interval
+    /// on the residual (stratified, control-variate-adjusted ratio
+    /// estimator, Student-t) is therefore an *absolute* cycle band,
+    /// and the relative width divides it by the full cycle estimate —
+    /// not by the residual alone, whose near-zero point value on
+    /// app-bound runs made the old ratio meaningless as a rate bound.
     pub fn rel_half_width(&self) -> Option<f64> {
-        self.estimator.rel_half_width()
+        let e = self
+            .estimator
+            .estimate_with_covariate_mean(self.batch_events_total, self.batch_covariate_mean());
+        e.ci?;
+        let exact = self.batch_base_cycles as f64;
+        let total = self.total_cycles as f64 + (exact + e.cycles).max(0.0);
+        if total <= 0.0 {
+            return None;
+        }
+        let half = ((exact + e.hi()).max(0.0) - (exact + e.lo()).max(0.0)) / 2.0;
+        Some(half / total)
+    }
+
+    /// Per-congestion-stratum breakdown of the sampling interval, one
+    /// row per merged stratum in ascending key order (empty if only
+    /// the cycle engine ran).
+    pub fn sampling_strata(&self) -> Vec<StratumStat> {
+        self.estimator.strata()
     }
 
     /// Accelerator statistics (`None` for unaccelerated systems).
@@ -697,14 +730,15 @@ impl MonitoringSystem {
         self.fade.as_ref().map(|f| *f.stats())
     }
 
-    /// The `(events, residual overhead cycles)` windows sampled by
-    /// batched execution so far: per window, the measured cycles minus
-    /// the unimpeded commit-model cycles for the same instructions and
-    /// minus the handler-execution cycles — what is left is queueing,
-    /// SMT interference and accelerator stalls (empty if only the
-    /// cycle engine ran).
-    pub fn sampled_windows(&self) -> &[(u64, f64)] {
-        self.estimator.windows()
+    /// The residual-overhead windows sampled by batched execution so
+    /// far: per window, the measured cycles minus the unimpeded
+    /// commit-model cycles for the same instructions and minus the
+    /// handler-execution cycles — what is left is queueing, SMT
+    /// interference and accelerator stalls (empty if only the cycle
+    /// engine ran). Each sample also carries its congestion stratum
+    /// and control covariate for the stratified estimator.
+    pub fn sampled_windows(&self) -> &[WindowSample] {
+        self.estimator.samples()
     }
 
     /// Total cycles including the extrapolation for batched stretches:
@@ -713,9 +747,25 @@ impl MonitoringSystem {
     /// stretches, plus the sampled per-event residual overhead. Equals
     /// [`MonitoringSystem::cycles`] when only the cycle engine ran.
     pub fn estimated_total_cycles(&self) -> u64 {
-        let residual = self.estimator.estimate(self.batch_events_total).cycles;
+        let residual = self
+            .estimator
+            .estimate_with_covariate_mean(self.batch_events_total, self.batch_covariate_mean())
+            .cycles;
         let exact = self.batch_base_cycles as f64;
         self.total_cycles + (exact + residual).max(0.0).round() as u64
+    }
+
+    /// Population mean of the window control covariate over every
+    /// batched stretch: total deterministic base cycles per batched
+    /// event. Each sampled window records its *preceding* stretch's
+    /// base per event; periodic sampling pairs every stretch with a
+    /// window, so this mean and the sample's nearly coincide — the
+    /// estimator's regression adjustment closes the remaining gap.
+    fn batch_covariate_mean(&self) -> f64 {
+        if self.batch_events_total == 0 {
+            return 0.0;
+        }
+        self.batch_base_cycles as f64 / self.batch_events_total as f64
     }
 
     /// `true` when nothing is in flight anywhere: accelerator (or
@@ -822,8 +872,9 @@ impl MonitoringSystem {
     /// — so long congestion episodes survive sampling instead of being
     /// truncated by a drained-queue restart. The measured window
     /// (including its trailing queue drain) feeds a
-    /// [`SampleEstimator`], and batched stretches are charged the
-    /// sampled CPI in [`MonitoringSystem::estimated_total_cycles`] and
+    /// [`StratifiedEstimator`] keyed by the window's congestion-seed
+    /// stratum, and batched stretches are charged the sampled CPI in
+    /// [`MonitoringSystem::estimated_total_cycles`] and
     /// [`MonitoringSystem::finish`].
     ///
     /// Monitor-visible results — final [`MetadataState`], violation
@@ -888,8 +939,22 @@ impl MonitoringSystem {
                 let handler0 = self.handler_est_cycles;
                 // Captured before seeding: the seed's estimated cycles
                 // join the window's handler term, offsetting the
-                // seeded work's simulated cycles in the residual.
-                self.seed_congestion(window_events);
+                // seeded work's simulated cycles in the residual. The
+                // returned seed keys the window's congestion stratum,
+                // and the preceding stretch's deterministic base
+                // cycles per event become its control covariate (the
+                // estimator regresses the residual on it and
+                // extrapolates at the population covariate mean — see
+                // `StratifiedEstimator::estimate_with_covariate_mean`).
+                let cov = if self.stretch_events > 0 {
+                    self.stretch_base_cycles as f64 / self.stretch_events as f64
+                } else {
+                    0.0
+                };
+                self.stretch_base_cycles = 0;
+                self.stretch_events = 0;
+                let seed = self.seed_congestion(window_events);
+                let stratum = congestion_stratum(seed);
                 // Congestion warmup: the first half of the window
                 // rebuilds the queue state the batched stretch skipped
                 // (the carried seed starts it congested; the warmup
@@ -951,7 +1016,7 @@ impl MonitoringSystem {
                     } else {
                         (self.events_seen - events0, dc_whole - ff_whole.max(dh_whole))
                     };
-                    self.estimator.record_window(ev_rec, resid);
+                    self.estimator.record_window(ev_rec, resid, stratum, cov);
                 }
             }
         }
@@ -990,21 +1055,24 @@ impl MonitoringSystem {
     /// tail-record gets no seed either — repeated seeding into short
     /// whole-recorded windows just piles fixed boundary costs onto too
     /// few events and flips the bias high.
-    fn seed_congestion(&mut self, window_events: u64) {
+    ///
+    /// Returns the backlog cycles actually seeded (0 when nothing was),
+    /// which doubles as the window's congestion-stratum key.
+    fn seed_congestion(&mut self, window_events: u64) -> u64 {
         if !Self::congestion_window_ok(window_events) {
             // The carry still describes only the stretch that just
             // ended: drop it rather than letting it go stale.
             self.congestion.take();
-            return;
+            return 0;
         }
         if !self.quiesced() {
             // Mid-window resume (composition): the previous entry
             // consumed the carry already.
-            return;
+            return 0;
         }
         let seed = self.congestion.take();
         if seed == 0 {
-            return;
+            return 0;
         }
         let hipc = self.cfg.core.handler_ipc().min(self.cfg.core.width() as f64);
         let cost = ((seed as f64) * hipc).round().max(1.0) as u32;
@@ -1017,6 +1085,7 @@ impl MonitoringSystem {
             self.m_batch_base_cycles = self.m_batch_base_cycles.saturating_sub(seed);
             self.m_seeded_cycles += est;
         }
+        seed
     }
 
     /// Runs the monitoring side with the application paused until
@@ -1223,17 +1292,20 @@ impl MonitoringSystem {
                 self.batch_stats.merge(&bs);
                 let base = ff.max(handler_cycles);
                 self.batch_base_cycles += base;
+                self.stretch_base_cycles += base;
                 if self.measuring {
                     self.m_batch_base_cycles += base;
                 }
                 self.congestion.on_stretch(handler_cycles, ff);
             } else {
                 self.batch_base_cycles += ff;
+                self.stretch_base_cycles += ff;
                 if self.measuring {
                     self.m_batch_base_cycles += ff;
                 }
                 self.congestion.on_stretch(0, ff);
             }
+            self.stretch_events += chunk.len() as u64;
             self.batch_buf = chunk;
         }
     }
@@ -1613,17 +1685,31 @@ impl MonitoringSystem {
         } else {
             // Prefer windows sampled inside the measured window; fall
             // back to all windows (e.g. warmup-only sampling).
-            let measured = &self.estimator.windows()[self.measure_from.min(self.estimator.len())..];
+            let measured = &self.estimator.samples()[self.measure_from.min(self.estimator.len())..];
             let est = if measured.is_empty() {
                 self.estimator.clone()
             } else {
-                SampleEstimator::from_windows(measured)
+                StratifiedEstimator::from_samples(measured)
             };
-            let e = est.estimate(self.m_batch_events);
+            let pop_mean = if self.m_batch_events > 0 {
+                self.m_batch_base_cycles as f64 / self.m_batch_events as f64
+            } else {
+                0.0
+            };
+            let e = est.estimate_with_covariate_mean(self.m_batch_events, pop_mean);
             let base = self.m_batch_base_cycles as f64;
             let extra = |residual: f64| (base + residual).max(0.0).round() as u64;
+            let total = self.m_cycles + extra(e.cycles);
+            let (lo, hi) = (self.m_cycles + extra(e.lo()), self.m_cycles + extra(e.hi()));
+            // The production-rate bound: the residual's absolute cycle
+            // band relative to the whole cycle estimate (simulated +
+            // deterministic base are exact, so the band is theirs too).
+            let rel = e
+                .ci
+                .filter(|_| total > 0)
+                .map(|_| (hi - lo) as f64 / 2.0 / total as f64);
             (
-                self.m_cycles + extra(e.cycles),
+                total,
                 Some(SamplingSummary {
                     windows: est.len(),
                     sampled_instrs: self.m_app_instrs - self.m_batch_instrs,
@@ -1633,9 +1719,10 @@ impl MonitoringSystem {
                     extrapolated_base_cycles: self.m_batch_base_cycles,
                     carried_seed_cycles: self.m_seeded_cycles,
                     residual_per_event: est.cpi(),
-                    rel_half_width: e.rel_half_width(),
-                    cycles_lo: self.m_cycles + extra(e.lo()),
-                    cycles_hi: self.m_cycles + extra(e.hi()),
+                    rel_half_width: rel,
+                    cycles_lo: lo,
+                    cycles_hi: hi,
+                    strata: est.strata(),
                 }),
             )
         };

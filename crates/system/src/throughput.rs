@@ -365,11 +365,15 @@ pub struct SystemThroughputReport {
     pub sample_period: u64,
     /// Cycle-accurate window length the batched run used.
     pub sample_window: u64,
-    /// Relative half-width of the estimator's 95% CI on the per-event
-    /// residual (`None` with fewer than two sampled windows).
+    /// Relative half-width of the 95% CI on the batched run's total
+    /// cycle estimate — the production rate's error bound (`None` with
+    /// fewer than two sampled windows).
     pub rel_half_width: Option<f64>,
     /// Carried-congestion handler cycles seeded into sampling windows.
     pub carried_seed_cycles: u64,
+    /// Per-congestion-stratum interval breakdown of the batched run's
+    /// sampling estimator (empty when nothing was sampled).
+    pub strata: Vec<fade_sim::StratumStat>,
 }
 
 impl SystemThroughputReport {
@@ -568,6 +572,7 @@ pub fn measure_system_throughput_records(
         sample_window: cfg.sample_window,
         rel_half_width: batched_sys.rel_half_width(),
         carried_seed_cycles: batched_sys.carried_seed_cycles(),
+        strata: batched_sys.sampling_strata(),
     }
 }
 
@@ -818,6 +823,7 @@ mod tests {
             sample_window: 0,
             rel_half_width: None,
             carried_seed_cycles: 0,
+            strata: Vec::new(),
         };
         for v in [
             r.fast_path_fraction(),
@@ -904,6 +910,50 @@ mod tests {
             "vectorized throughput floor: {:.1} Mev/s",
             r.vectorized_rate() / 1e6
         );
+    }
+
+    #[test]
+    #[ignore = "wall-clock benchmark; run explicitly"]
+    fn bench_smoke_narrow_batches_do_not_regress_vectorized() {
+        // Batch size 1 feeds the vectorized entry point one event per
+        // call: the SoA kernel can never pay off there, so the
+        // narrow-run width gate must route those calls through the
+        // scalar loop. The floor sits just under parity — the bypass
+        // leaves only per-call overhead shared with the scalar driver,
+        // so anything below ~1.0 is the gate failing, not noise.
+        for (bench_name, monitor) in [("hmmer", "AddrCheck"), ("gcc", "MemLeak")] {
+            let b = bench::by_name(bench_name).unwrap();
+            // Each single pass is only a few milliseconds, so paired
+            // per-run ratios are noise-dominated; ratio the best rate
+            // each path reaches across the repeats, and retry the whole
+            // measurement a few times — a transiently loaded runner can
+            // still depress one path by several percent across a whole
+            // repeat set, while a real bypass regression fails every
+            // attempt.
+            let mut speedup = 0.0f64;
+            let (mut best_batched, mut best_vectorized) = (0.0f64, 0.0f64);
+            for _ in 0..3 {
+                best_batched = 0.0;
+                best_vectorized = 0.0;
+                for _ in 0..5 {
+                    let r = measure_throughput(&b, monitor, 1, 200_000);
+                    best_batched = best_batched.max(r.batched_rate());
+                    best_vectorized = best_vectorized.max(r.vectorized_rate());
+                }
+                speedup = speedup.max(best_vectorized / best_batched);
+                if speedup >= 0.98 {
+                    break;
+                }
+            }
+            assert!(
+                speedup >= 0.98,
+                "{bench_name}/{monitor} batch 1: vectorized entry must not trail scalar: \
+                 speedup {:.3} ({:.1} vs {:.1} Mev/s)",
+                speedup,
+                best_vectorized / 1e6,
+                best_batched / 1e6
+            );
+        }
     }
 
     #[test]

@@ -162,6 +162,63 @@ fn sampled_cycle_estimates_within_tolerance() {
     );
 }
 
+/// Documented bound on the production-rate 95% CI (`rel_half_width` of
+/// the total cycle estimate) at the default 25% sampling, for
+/// app-bound workloads: the residual is a few percent of the total, so
+/// even a loose residual interval pins the rate tightly.
+const RATE_CI_APP_BOUND: f64 = 0.10;
+
+/// Same bound for the congested monitor-bound workload. gcc/MemLeak's
+/// residual is ~half the total cycle count and its window-to-window
+/// spread is genuine long-wave queueing (queue-full commit stalls
+/// alternating with handler idle — burst-phase episodes that no
+/// batched-path-observable covariate predicts), so with 12 windows the
+/// honest interval sits near ±17%; the ≤10% ROADMAP goal would need
+/// denser sampling, which the cycle-accuracy bound forbids at 25%.
+/// This guard keeps the interval from regressing while the gap stays
+/// an open ROADMAP item.
+const RATE_CI_MONITOR_BOUND: f64 = 0.25;
+
+/// The production-rate confidence interval stays inside the documented
+/// bounds at the default sampling configuration, and the estimator
+/// publishes its per-stratum breakdown (the schema-v7 columns). This is
+/// the release-CI accuracy step's second gate, next to the
+/// [`CYCLE_TOLERANCE`] bound on the point estimate.
+#[test]
+fn sampled_rate_ci_within_bounds() {
+    let points = [
+        ("hmmer", "AddrCheck", RATE_CI_APP_BOUND),
+        ("gcc", "MemLeak", RATE_CI_MONITOR_BOUND),
+    ];
+    for (bench_name, monitor, bound) in points {
+        let b = bench::by_name(bench_name).unwrap();
+        let cfg = SystemConfig::fade_single_core();
+        let r = measure_system_throughput(&b, monitor, &cfg, 200_000);
+        let rel = r.rel_half_width.unwrap_or_else(|| {
+            panic!("{bench_name}/{monitor}: default sampling must produce a CI")
+        });
+        assert!(
+            rel <= bound,
+            "{bench_name}/{monitor}: production-rate CI half-width {rel:.3} over bound {bound}",
+        );
+        // The per-stratum breakdown must be present and well-formed:
+        // every merged stratum holds enough windows for its own
+        // variance estimate, and the windows add up.
+        assert!(!r.strata.is_empty(), "{bench_name}/{monitor}: no stratum rows");
+        let windows: usize = r.strata.iter().map(|s| s.windows).sum();
+        for s in &r.strata {
+            assert!(
+                s.windows >= fade_repro::sim::StratifiedEstimator::MIN_STRATUM_WINDOWS
+                    || r.strata.len() == 1,
+                "{bench_name}/{monitor}: stratum {} kept only {} windows",
+                s.stratum,
+                s.windows,
+            );
+        }
+        assert!(windows >= 2, "{bench_name}/{monitor}: too few windows: {windows}");
+    }
+}
+
 /// Unaccelerated systems take the documented fallback: `run_batched`
 /// runs them cycle-accurately, so results (and timing) match exactly.
 #[test]
