@@ -28,6 +28,8 @@ use std::path::{Path, PathBuf};
 
 use fade_bench::experiments as ex;
 use fade_bench::{drain_timings, MatrixTiming};
+use fade_report::{JsonDocument, JsonObject};
+use fade_service::{measure_service_throughput, EngineSel, LoadOptions};
 use fade_system::{
     measure_synthetic_filterable, measure_system_throughput_records, measure_throughput_matrix,
     measure_trace_codec_records, record_trace_prefix, SystemConfig,
@@ -46,7 +48,9 @@ const SYNTHETIC_BATCH: usize = 32;
 /// One pipeline row (fields unchanged since the v6 schema): the v5
 /// fields plus the vectorized (SoA block) engine's rate and its
 /// speedup over the scalar batched loop. The v7 bump added the
-/// per-stratum sampling columns to the *system* rows.
+/// per-stratum sampling columns to the *system* rows; v8 added the
+/// `service_results` section (and moved all emission onto the shared
+/// `fade_report` writer).
 fn pipeline_row(r: &fade_system::ThroughputReport) -> String {
     println!(
         "  {}/{} batch {:>3}: {:>6.2} Mev/s batched, {:>6.2} Mev/s vectorized, {:>6.2} Mev/s per-event ({:.2}x vec, {:.0}% fast path)",
@@ -59,30 +63,22 @@ fn pipeline_row(r: &fade_system::ThroughputReport) -> String {
         r.vector_speedup(),
         100.0 * r.fast_path_fraction(),
     );
-    format!(
-        concat!(
-            "    {{\"benchmark\": \"{}\", \"monitor\": \"{}\", \"batch_size\": {}, ",
-            "\"events\": {}, \"events_per_sec_batched\": {:.0}, ",
-            "\"events_per_sec_vectorized\": {:.0}, ",
-            "\"events_per_sec_per_event\": {:.0}, \"speedup\": {:.3}, ",
-            "\"vector_speedup\": {:.3}, ",
-            "\"fast_path_fraction\": {:.4}, \"filtering_ratio\": {:.4}}}"
-        ),
-        r.benchmark,
-        r.monitor,
-        r.batch_size,
-        r.events,
-        r.batched_rate(),
-        r.vectorized_rate(),
-        r.per_event_rate(),
-        r.speedup(),
-        r.vector_speedup(),
-        r.fast_path_fraction(),
-        r.fade.filtering_ratio(),
-    )
+    JsonObject::new()
+        .str("benchmark", &r.benchmark)
+        .str("monitor", &r.monitor)
+        .uint("batch_size", r.batch_size as u64)
+        .uint("events", r.events)
+        .float("events_per_sec_batched", r.batched_rate(), 0)
+        .float("events_per_sec_vectorized", r.vectorized_rate(), 0)
+        .float("events_per_sec_per_event", r.per_event_rate(), 0)
+        .float("speedup", r.speedup(), 3)
+        .float("vector_speedup", r.vector_speedup(), 3)
+        .float("fast_path_fraction", r.fast_path_fraction(), 4)
+        .float("filtering_ratio", r.fade.filtering_ratio(), 4)
+        .render()
 }
 
-fn pipeline_json() -> String {
+fn pipeline_json() -> Vec<String> {
     let mut rows = Vec::new();
     for (bench_name, monitor) in PIPELINE_POINTS {
         let b = bench::by_name(bench_name).unwrap();
@@ -94,7 +90,7 @@ fn pipeline_json() -> String {
     // case, and the acceptance point for the SoA speedup target.
     let synth = measure_synthetic_filterable(SYNTHETIC_BATCH, PIPELINE_EVENTS);
     rows.push(pipeline_row(&synth));
-    rows.join(",\n")
+    rows
 }
 
 /// The `.fadet` path a pipeline point records to / replays from.
@@ -165,7 +161,7 @@ fn load_trace(dir: &Path, bench_name: &str, monitor: &str, seed: u64) -> (Vec<Tr
 /// prefix — generated live, or replayed from `--replay-dir`'s recorded
 /// files. Each measurement also differentially checks bit-exactness of
 /// monitor-visible results between the two engines.
-fn system_json(replay_dir: Option<&Path>, prefixes: Vec<PointPrefix>) -> String {
+fn system_json(replay_dir: Option<&Path>, prefixes: Vec<PointPrefix>) -> Vec<String> {
     let mut rows = Vec::new();
     for ((bench_name, monitor), p) in PIPELINE_POINTS.iter().copied().zip(prefixes) {
         let b = bench::by_name(bench_name).unwrap();
@@ -187,63 +183,49 @@ fn system_json(replay_dir: Option<&Path>, prefixes: Vec<PointPrefix>) -> String 
         // Since schema v7 each system row carries the estimator's
         // per-congestion-stratum interval breakdown alongside the
         // whole-run (production-rate) `rel_half_width`.
-        let strata = r
+        let strata: Vec<String> = r
             .strata
             .iter()
             .map(|s| {
-                format!(
-                    concat!(
-                        "{{\"stratum\": {}, \"windows\": {}, \"events\": {}, ",
-                        "\"cpi\": {:.4}, \"rel_half_width\": {}, \"beta\": {}}}"
-                    ),
-                    s.stratum,
-                    s.windows,
-                    s.events,
-                    s.cpi,
-                    s.rel_half_width
-                        .map_or_else(|| "null".to_string(), |w| format!("{w:.4}")),
-                    s.beta.map_or_else(|| "null".to_string(), |b| format!("{b:.4}")),
-                )
+                JsonObject::new()
+                    .uint("stratum", u64::from(s.stratum))
+                    .uint("windows", s.windows as u64)
+                    .uint("events", s.events)
+                    .float("cpi", s.cpi, 4)
+                    .opt_float("rel_half_width", s.rel_half_width, 4)
+                    .opt_float("beta", s.beta, 4)
+                    .render()
             })
-            .collect::<Vec<_>>()
-            .join(", ");
-        rows.push(format!(
-            concat!(
-                "    {{\"benchmark\": \"{}\", \"monitor\": \"{}\", \"events\": {}, ",
-                "\"source\": \"{}\", ",
-                "\"events_per_sec_batched\": {:.0}, \"events_per_sec_cycle\": {:.0}, ",
-                "\"speedup\": {:.3}, \"fast_path_fraction\": {:.4}, ",
-                "\"exact_cycles\": {}, \"estimated_cycles\": {}, \"cycle_error\": {:.4}, ",
-                "\"rel_half_width\": {}, \"carried_seed_cycles\": {}, ",
-                "\"sample_period\": {}, \"sample_window\": {}, \"strata\": [{}]}}"
-            ),
-            r.benchmark,
-            r.monitor,
-            r.events,
-            source,
-            r.batched_rate(),
-            r.cycle_rate(),
-            r.speedup(),
-            r.fast_path_fraction(),
-            r.exact_cycles,
-            r.estimated_cycles,
-            r.cycle_error(),
-            r.rel_half_width
-                .map_or_else(|| "null".to_string(), |w| format!("{w:.4}")),
-            r.carried_seed_cycles,
-            r.sample_period,
-            r.sample_window,
-            strata,
-        ));
+            .collect();
+        rows.push(
+            JsonObject::new()
+                .str("benchmark", &r.benchmark)
+                .str("monitor", &r.monitor)
+                .uint("events", r.events)
+                .str("source", source)
+                .float("events_per_sec_batched", r.batched_rate(), 0)
+                .float("events_per_sec_cycle", r.cycle_rate(), 0)
+                .float("speedup", r.speedup(), 3)
+                .float("fast_path_fraction", r.fast_path_fraction(), 4)
+                .uint("exact_cycles", r.exact_cycles)
+                .uint("estimated_cycles", r.estimated_cycles)
+                .float("cycle_error", r.cycle_error(), 4)
+                .opt_float("rel_half_width", r.rel_half_width, 4)
+                .uint("carried_seed_cycles", r.carried_seed_cycles)
+                .uint("sample_period", r.sample_period)
+                .uint("sample_window", r.sample_window)
+                .array("strata", &strata)
+                .render(),
+        );
     }
-    rows.join(",\n")
+    rows
 }
 
 /// Trace-codec throughput: live generation vs `.fadet` encode/decode
 /// rates and the encoded-vs-raw size, per pipeline point. Replay is
 /// worth having exactly when decode beats generation — both rates land
 /// in the JSON so regressions surface.
-fn trace_json(prefixes: &[PointPrefix]) -> String {
+fn trace_json(prefixes: &[PointPrefix]) -> Vec<String> {
     let mut rows = Vec::new();
     for ((bench_name, monitor), p) in PIPELINE_POINTS.iter().zip(prefixes) {
         let b = bench::by_name(bench_name).unwrap();
@@ -265,52 +247,80 @@ fn trace_json(prefixes: &[PointPrefix]) -> String {
             r.encoded_bytes as f64 / r.records as f64,
             r.compression_ratio(),
         );
-        rows.push(format!(
-            concat!(
-                "    {{\"benchmark\": \"{}\", \"monitor\": \"{}\", \"events\": {}, ",
-                "\"records\": {}, \"raw_bytes\": {}, \"encoded_bytes\": {}, ",
-                "\"compression_ratio\": {:.3}, \"events_per_sec_generate\": {:.0}, ",
-                "\"events_per_sec_encode\": {:.0}, \"events_per_sec_replay\": {:.0}}}"
-            ),
-            r.benchmark,
-            r.monitor,
-            r.events,
-            r.records,
-            r.raw_bytes,
-            r.encoded_bytes,
-            r.compression_ratio(),
-            r.gen_rate(),
-            r.encode_rate(),
-            r.replay_rate(),
-        ));
+        rows.push(
+            JsonObject::new()
+                .str("benchmark", &r.benchmark)
+                .str("monitor", &r.monitor)
+                .uint("events", r.events)
+                .uint("records", r.records)
+                .uint("raw_bytes", r.raw_bytes)
+                .uint("encoded_bytes", r.encoded_bytes)
+                .float("compression_ratio", r.compression_ratio(), 3)
+                .float("events_per_sec_generate", r.gen_rate(), 0)
+                .float("events_per_sec_encode", r.encode_rate(), 0)
+                .float("events_per_sec_replay", r.replay_rate(), 0)
+                .render(),
+        );
     }
-    rows.join(",\n")
+    rows
 }
 
 type Section = (&'static str, fn() -> String);
 
 /// One JSON row per `.timed(...)` matrix a section ran: the sharding
 /// evidence (since schema v4).
-fn matrix_json(rows: &[(String, MatrixTiming)]) -> String {
+fn matrix_json(rows: &[(String, MatrixTiming)]) -> Vec<String> {
     rows.iter()
         .map(|(section, t)| {
-            format!(
-                concat!(
-                    "    {{\"section\": \"{}\", \"matrix\": \"{}\", \"experiments\": {}, ",
-                    "\"workers\": {}, \"wall_s\": {:.3}, \"serial_s\": {:.3}, ",
-                    "\"speedup\": {:.3}}}"
-                ),
-                section,
-                t.label,
-                t.experiments,
-                t.workers,
-                t.wall_s,
-                t.serial_s,
-                t.speedup(),
-            )
+            JsonObject::new()
+                .str("section", section)
+                .str("matrix", &t.label)
+                .uint("experiments", t.experiments as u64)
+                .uint("workers", t.workers as u64)
+                .float("wall_s", t.wall_s, 3)
+                .float("serial_s", t.serial_s, 3)
+                .float("speedup", t.speedup(), 3)
+                .render()
         })
-        .collect::<Vec<_>>()
-        .join(",\n")
+        .collect()
+}
+
+/// Multi-tenant serving throughput (since schema v8): an in-process
+/// `faded` daemon on a temporary socket, N concurrent tenants
+/// streaming recorded `.fadet` sessions, sustained aggregate event
+/// rate and FINISH→END report latency percentiles.
+fn service_json() -> Vec<String> {
+    let opts = LoadOptions {
+        tenants: 8,
+        workers: fade_bench::default_workers().clamp(2, 8),
+        events_per_tenant: 50_000,
+        engine: EngineSel::Batched,
+    };
+    let r = measure_service_throughput(&opts)
+        .unwrap_or_else(|e| panic!("service load run failed: {e}"));
+    println!(
+        "  {} tenants on {} workers: {:>6.2} Mev/s aggregate, p50 {:.1} ms, p99 {:.1} ms latency ({} report lines, {:.2}s wall)",
+        r.tenants,
+        r.workers,
+        r.aggregate_rate() / 1e6,
+        r.p50_latency_s * 1e3,
+        r.p99_latency_s * 1e3,
+        r.reports,
+        r.wall_s,
+    );
+    vec![JsonObject::new()
+        .uint("tenants", r.tenants as u64)
+        .uint("workers", r.workers as u64)
+        .str("engine", r.engine)
+        .uint("events", r.events)
+        .uint("instrs", r.instrs)
+        .uint("reports", r.reports)
+        .float("events_per_sec_aggregate", r.aggregate_rate(), 0)
+        .float("p50_latency_s", r.p50_latency_s, 4)
+        .float("p99_latency_s", r.p99_latency_s, 4)
+        .float("max_latency_s", r.max_latency_s, 4)
+        .float("wall_s", r.wall_s, 3)
+        .render()]
 }
 
 fn main() {
@@ -405,10 +415,18 @@ fn main() {
     println!("System throughput (batched engine vs. cycle engine)");
     println!("================================================================");
     let system_rows = system_json(replay_dir.as_deref(), prefixes);
+    println!("================================================================");
+    println!("Service throughput (faded daemon, concurrent tenants)");
+    println!("================================================================");
+    let service_rows = service_json();
     let matrix_rows = matrix_json(&matrix_rows);
-    let json = format!(
-        "{{\n  \"schema\": \"fade-pipeline-throughput/v7\",\n  \"results\": [\n{pipeline_rows}\n  ],\n  \"trace_results\": [\n{trace_rows}\n  ],\n  \"system_results\": [\n{system_rows}\n  ],\n  \"matrix_results\": [\n{matrix_rows}\n  ]\n}}\n",
-    );
+    let json = JsonDocument::new("fade-pipeline-throughput/v8")
+        .section("results", pipeline_rows)
+        .section("trace_results", trace_rows)
+        .section("system_results", system_rows)
+        .section("matrix_results", matrix_rows)
+        .section("service_results", service_rows)
+        .render();
     let path = "BENCH_pipeline.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),

@@ -41,7 +41,6 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -312,44 +311,27 @@ impl ExperimentMatrix {
     pub fn run(self) -> MatrixResult {
         let n = self.experiments.len();
         let workers = self.workers.clamp(1, n.max(1));
-        let next = AtomicUsize::new(0);
-        type Slot = Mutex<Option<Result<RunReport, ExperimentError>>>;
-        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
         let experiments = &self.experiments;
         let registry = &self.registry;
         let start = Instant::now();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    // The session guards monitor panics itself; this
-                    // outer guard catches everything else (harness
-                    // bugs) so one bad row cannot take down a worker
-                    // and with it every experiment the worker would
-                    // have claimed.
-                    let outcome = catch_unwind(AssertUnwindSafe(|| experiments[i].run(registry)))
-                        .unwrap_or_else(|payload| {
-                            Err(ExperimentError::Panicked {
-                                label: experiments[i].label.clone(),
-                                payload: panic_message(payload.as_ref()),
-                            })
-                        });
-                    *slots[i].lock().expect("no worker panicked holding a slot") = Some(outcome);
-                });
-            }
-        });
+        // The scheduling core lives in `fade_system::pool`: workers
+        // claim the next undone experiment, results come back in
+        // declaration order. The session guards monitor panics itself;
+        // the catch_unwind here catches everything else (harness bugs)
+        // so one bad row cannot take down a worker and with it every
+        // experiment the worker would have claimed.
+        let outcomes: Vec<Result<RunReport, ExperimentError>> =
+            fade_system::pool::run_indexed(workers, n, |i| {
+                catch_unwind(AssertUnwindSafe(|| experiments[i].run(registry))).unwrap_or_else(
+                    |payload| {
+                        Err(ExperimentError::Panicked {
+                            label: experiments[i].label.clone(),
+                            payload: panic_message(payload.as_ref()),
+                        })
+                    },
+                )
+            });
         let wall_s = start.elapsed().as_secs_f64();
-        let outcomes: Vec<Result<RunReport, ExperimentError>> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("no worker panicked holding a slot")
-                    .expect("scope joined every worker, so every slot is filled")
-            })
-            .collect();
         let serial_s = outcomes
             .iter()
             .filter_map(|o| o.as_ref().ok().map(|r| r.wall_s))

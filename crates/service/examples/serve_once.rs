@@ -1,0 +1,35 @@
+//! Spawn an in-process `faded`, serve one tenant session over the
+//! socket, print every report line, and shut down.
+//!
+//! ```text
+//! cargo run -p fade-service --example serve_once
+//! ```
+
+use fade_service::{temp_socket_path, Faded, Hello, ServerConfig, stream_session};
+use fade_system::record_trace_prefix;
+use fade_trace::{bench, encode_trace, TraceMeta};
+
+fn main() -> std::io::Result<()> {
+    let socket = temp_socket_path("example");
+    let daemon = Faded::spawn(ServerConfig::new(&socket).workers(2))?;
+
+    // Record a small gcc trace and stream it as tenant "demo".
+    let b = bench::by_name("gcc").expect("gcc profile exists");
+    let seed = 42;
+    let (records, _instrs) = record_trace_prefix(&b, "MemLeak", seed, 30_000);
+    let trace = encode_trace(&TraceMeta::new("gcc", seed), &records);
+
+    let hello = Hello {
+        seed: Some(seed),
+        ..Hello::new("demo", "MemLeak")
+    };
+    let end = stream_session(&socket, &hello, &trace, |line| println!("{line}"))
+        .expect("served session succeeds");
+    println!(
+        "served {} events over {} report lines",
+        end.events, end.reports
+    );
+
+    daemon.shutdown();
+    Ok(())
+}

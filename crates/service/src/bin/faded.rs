@@ -1,0 +1,78 @@
+//! `faded` — the FADE monitoring daemon.
+//!
+//! ```text
+//! faded --socket /run/faded.sock [--workers N] [--max-trace-bytes N]
+//! ```
+//!
+//! Binds the unix-domain socket and serves tenant sessions until a
+//! client sends the admin SHUTDOWN frame (`fade-client --shutdown`).
+
+use std::process::ExitCode;
+
+use fade_service::{Faded, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: faded --socket PATH [--workers N] [--max-trace-bytes N]\n\
+         \n\
+         Serve FADE monitoring sessions on a unix-domain socket.\n\
+         Stop with: fade-client --socket PATH --shutdown"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut socket: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut max_trace_bytes: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("faded: {name} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--socket" => socket = value("--socket"),
+            "--workers" => match value("--workers").map(|v| v.parse()) {
+                Some(Ok(n)) => workers = Some(n),
+                _ => return usage(),
+            },
+            "--max-trace-bytes" => match value("--max-trace-bytes").map(|v| v.parse()) {
+                Some(Ok(n)) => max_trace_bytes = Some(n),
+                _ => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other => {
+                eprintln!("faded: unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        return usage();
+    };
+
+    let mut cfg = ServerConfig::new(&socket);
+    if let Some(n) = workers {
+        cfg = cfg.workers(n);
+    }
+    if let Some(n) = max_trace_bytes {
+        cfg = cfg.max_trace_bytes(n);
+    }
+    let workers = cfg.workers;
+    match Faded::spawn(cfg) {
+        Ok(daemon) => {
+            eprintln!("faded: serving on {socket} with {workers} workers");
+            daemon.wait();
+            eprintln!("faded: shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("faded: cannot bind {socket}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod config;
+pub mod pool;
 pub mod registry;
 pub mod run;
 pub mod session;
@@ -52,11 +53,12 @@ pub mod system;
 pub mod throughput;
 
 pub use config::{Accel, FadeTweaks, SystemConfig, Topology};
+pub use pool::{run_indexed, WorkerPool};
 pub use registry::{MonitorFactory, MonitorRegistry, UnknownMonitor};
 pub use run::{ClassInstrs, RunStats, SamplingSummary, UtilBreakdown};
 pub use session::{
     Engine, MonitorSel, RunReport, Session, SessionBuilder, SessionError, SessionRunError,
-    SourceSpec,
+    ShadowUsage, SourceSpec,
 };
 #[allow(deprecated)]
 pub use system::{run_experiment, run_experiment_mode};

@@ -799,6 +799,33 @@ impl Session {
     pub fn shadow_counters(&self) -> ShadowCounters {
         self.sys.state().mem.counters()
     }
+
+    /// The session's *live* shadow-memory footprint, delegating to
+    /// [`fade_shadow::ShadowMemory`]: total resident bytes (full page
+    /// frames plus compressed demoted pages) and the number of resident
+    /// full pages. This is the instantaneous quantity a multi-tenant
+    /// server admits/meters tenants on, as opposed to the historical
+    /// high-water mark in [`ShadowCounters::peak_full_pages`]: at any
+    /// instant `full_pages <= peak_full_pages`, and under a configured
+    /// page budget both stay at or below it.
+    pub fn shadow_bytes_in_use(&self) -> ShadowUsage {
+        let mem = &self.sys.state().mem;
+        ShadowUsage {
+            bytes: mem.shadow_bytes(),
+            full_pages: mem.resident_full_pages(),
+        }
+    }
+}
+
+/// A snapshot of a session's live shadow-memory footprint
+/// (see [`Session::shadow_bytes_in_use`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShadowUsage {
+    /// Resident shadow bytes: full page frames plus the compressed
+    /// representation of demoted pages.
+    pub bytes: usize,
+    /// Pages currently resident as full (uncompressed) frames.
+    pub full_pages: usize,
 }
 
 impl std::fmt::Debug for Session {
@@ -957,6 +984,53 @@ mod tests {
         assert!(r.stats.app_instrs >= 8_000);
         assert!(r.stats.sampling.is_none(), "cycle engine is exact");
         assert!(r.wall_s > 0.0);
+    }
+
+    /// `shadow_bytes_in_use` is the *instantaneous* footprint;
+    /// `ShadowCounters::peak_full_pages` is its post-enforcement
+    /// high-water mark. Stepping a budgeted session and polling both
+    /// pins the relationship: every observed instantaneous full-page
+    /// count stays at or below the budget and at or below the final
+    /// peak, and the peak is reached by some observed instant's
+    /// history (it never undershoots the running maximum we saw).
+    #[test]
+    fn shadow_usage_tracks_memory_and_respects_peak_semantics() {
+        const BUDGET: usize = 8;
+        let mut s = Session::builder()
+            .monitor("MemCheck")
+            .source(bench::by_name("gcc").unwrap())
+            .config(SystemConfig::fade_single_core().with_shadow_page_budget(BUDGET))
+            .build()
+            .unwrap();
+        let mut max_seen = 0usize;
+        for _ in 0..40 {
+            s.run(1_000).unwrap();
+            let usage = s.shadow_bytes_in_use();
+            assert!(
+                usage.full_pages <= BUDGET,
+                "budget enforcement: {} full pages > budget {BUDGET}",
+                usage.full_pages
+            );
+            assert_eq!(
+                usage.bytes,
+                s.state().mem.shadow_bytes(),
+                "accessor must delegate to ShadowMemory"
+            );
+            assert!(
+                usage.bytes >= usage.full_pages * fade_shadow::memory::SHADOW_PAGE_SIZE,
+                "resident bytes must cover the full-page frames"
+            );
+            max_seen = max_seen.max(usage.full_pages);
+        }
+        let peak = s.shadow_counters().peak_full_pages;
+        let now = s.shadow_bytes_in_use().full_pages;
+        assert!(max_seen > 0, "the workload must actually touch shadow pages");
+        assert!(
+            max_seen <= peak,
+            "peak is a high-water mark over every instant: saw {max_seen}, peak {peak}"
+        );
+        assert!(now <= peak, "the current instant can never exceed the peak");
+        assert!(peak <= BUDGET, "the peak is post-enforcement: {peak} > {BUDGET}");
     }
 
     #[test]
