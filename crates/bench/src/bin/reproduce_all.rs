@@ -31,8 +31,8 @@ use fade_bench::{drain_timings, MatrixTiming};
 use fade_report::{JsonDocument, JsonObject};
 use fade_service::{measure_service_throughput, EngineSel, LoadOptions};
 use fade_system::{
-    measure_synthetic_filterable, measure_system_throughput_records, measure_throughput_matrix,
-    measure_trace_codec_records, record_trace_prefix, SystemConfig,
+    measure_parallel_replay, measure_synthetic_filterable, measure_system_throughput_records,
+    measure_throughput_matrix, measure_trace_codec_records, record_trace_prefix, SystemConfig,
 };
 use fade_trace::{bench, read_trace_file, write_trace_file, TraceMeta, TraceRecord};
 
@@ -50,7 +50,8 @@ const SYNTHETIC_BATCH: usize = 32;
 /// speedup over the scalar batched loop. The v7 bump added the
 /// per-stratum sampling columns to the *system* rows; v8 added the
 /// `service_results` section (and moved all emission onto the shared
-/// `fade_report` writer).
+/// `fade_report` writer); v9 added the `parallel_results` section
+/// (epoch-parallel whole-trace replay vs sequential).
 fn pipeline_row(r: &fade_system::ThroughputReport) -> String {
     println!(
         "  {}/{} batch {:>3}: {:>6.2} Mev/s batched, {:>6.2} Mev/s vectorized, {:>6.2} Mev/s per-event ({:.2}x vec, {:.0}% fast path)",
@@ -285,6 +286,50 @@ fn matrix_json(rows: &[(String, MatrixTiming)]) -> Vec<String> {
         .collect()
 }
 
+/// Epoch-parallel whole-trace replay vs sequential replay (since
+/// schema v9): serial and parallel wall clocks per pipeline point, at
+/// workers 1 (the speculation machinery's pure overhead — the < 5%
+/// acceptance bar) and at the fleet worker count (the speedup), plus
+/// the epoch scheduler's validate/re-run accounting. Each measurement
+/// is also a differential check: the harness asserts bit-exact
+/// monitor-visible results between the serial and parallel replays.
+fn parallel_json() -> Vec<String> {
+    let cfg = SystemConfig::fade_single_core();
+    let fleet = fade_bench::default_workers().clamp(2, 8);
+    let mut rows = Vec::new();
+    for (bench_name, monitor) in PIPELINE_POINTS {
+        let b = bench::by_name(bench_name).unwrap();
+        for workers in [1, fleet] {
+            let r = measure_parallel_replay(&b, monitor, &cfg, PIPELINE_EVENTS, workers);
+            println!(
+                "  {bench_name}/{monitor} replay x{workers}: {:.3}s serial vs {:.3}s parallel ({:.2}x, {} epochs, {} validated, {} rerun)",
+                r.serial_s,
+                r.parallel_s,
+                r.speedup(),
+                r.epochs.epochs,
+                r.epochs.validated,
+                r.epochs.rerun,
+            );
+            rows.push(
+                JsonObject::new()
+                    .str("benchmark", &r.benchmark)
+                    .str("monitor", &r.monitor)
+                    .uint("workers", r.workers as u64)
+                    .uint("events", r.events)
+                    .uint("instrs", r.instrs)
+                    .float("serial_wall_s", r.serial_s, 4)
+                    .float("parallel_wall_s", r.parallel_s, 4)
+                    .float("speedup", r.speedup(), 3)
+                    .uint("epochs", r.epochs.epochs)
+                    .uint("epochs_validated", r.epochs.validated)
+                    .uint("epochs_rerun", r.epochs.rerun)
+                    .render(),
+            );
+        }
+    }
+    rows
+}
+
 /// Multi-tenant serving throughput (since schema v8): an in-process
 /// `faded` daemon on a temporary socket, N concurrent tenants
 /// streaming recorded `.fadet` sessions, sustained aggregate event
@@ -416,14 +461,19 @@ fn main() {
     println!("================================================================");
     let system_rows = system_json(replay_dir.as_deref(), prefixes);
     println!("================================================================");
+    println!("Parallel replay (epoch-parallel vs sequential)");
+    println!("================================================================");
+    let parallel_rows = parallel_json();
+    println!("================================================================");
     println!("Service throughput (faded daemon, concurrent tenants)");
     println!("================================================================");
     let service_rows = service_json();
     let matrix_rows = matrix_json(&matrix_rows);
-    let json = JsonDocument::new("fade-pipeline-throughput/v8")
+    let json = JsonDocument::new("fade-pipeline-throughput/v9")
         .section("results", pipeline_rows)
         .section("trace_results", trace_rows)
         .section("system_results", system_rows)
+        .section("parallel_results", parallel_rows)
         .section("matrix_results", matrix_rows)
         .section("service_results", service_rows)
         .render();

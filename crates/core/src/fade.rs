@@ -228,15 +228,66 @@ pub struct BatchStats {
     pub fallback: u64,
     /// Events dispatched to the software consumer during the batch.
     pub dispatched: u64,
+    /// Queue-occupancy integral: the sum, over every batch event, of
+    /// the modeled software-queue depth when that event entered the
+    /// filter. The model is a Lindley recurrence the batched path can
+    /// afford: each dispatched event deepens the queue by
+    /// [`BatchStats::OCC_COST`] (handler work outpaces retirement),
+    /// every event drains one unit. Purely observational — it never
+    /// affects filtering results — but unlike the post-hoc stall
+    /// counters it *sees* queue build-up inside batched stretches,
+    /// which is the covariate the sampling estimator needs for
+    /// monitor-bound runs.
+    pub occ_integral: u64,
+    /// Modeled queue depth left at the end of the batch (the state the
+    /// integral recurrence carries; merged chronologically).
+    pub occ_depth: u64,
 }
 
 impl BatchStats {
-    /// Folds another batch's counters into this one.
+    /// Modeled queue growth per dispatched event: the handler consumes
+    /// events slower than the filter produces them, so a dispatch costs
+    /// one drain slot plus one backlog slot.
+    pub const OCC_COST: u64 = 2;
+
+    /// Folds another batch's counters into this one. Batches merge in
+    /// execution order: the occupancy integral sums, the carried depth
+    /// is whatever the later batch left behind.
     pub fn merge(&mut self, other: &BatchStats) {
         self.events += other.events;
         self.fast_path += other.fast_path;
         self.fallback += other.fallback;
         self.dispatched += other.dispatched;
+        self.occ_integral += other.occ_integral;
+        self.occ_depth = other.occ_depth;
+    }
+
+    /// Advances the occupancy model over one event that dispatched
+    /// `dispatched` events to software (0 = filtered).
+    #[inline]
+    pub(crate) fn occ_event(&mut self, dispatched: u64) {
+        self.occ_integral += self.occ_depth;
+        if dispatched > 0 {
+            self.occ_depth += Self::OCC_COST * dispatched;
+        } else {
+            self.occ_depth = self.occ_depth.saturating_sub(1);
+        }
+    }
+
+    /// Advances the occupancy model over a run of `n` consecutive
+    /// filtered events in closed form — exactly what `n` successive
+    /// [`BatchStats::occ_event`]`(0)` calls would do, so the vectorized
+    /// bulk-retire path stays bit-identical to the scalar loop.
+    #[inline]
+    pub(crate) fn occ_filtered_run(&mut self, n: u64) {
+        let q = self.occ_depth;
+        if n >= q {
+            self.occ_integral += q * (q + 1) / 2;
+            self.occ_depth = 0;
+        } else {
+            self.occ_integral += n * q - n * (n - 1) / 2;
+            self.occ_depth = q - n;
+        }
     }
 
     /// Fraction of batch events that took the short-circuit fast path
@@ -342,6 +393,12 @@ enum FaState {
 }
 
 /// The FADE accelerator.
+///
+/// `Clone` produces an independent accelerator with identical
+/// functional *and* timing state (program, queues, cache/TLB contents,
+/// counters) — what epoch checkpoints snapshot so a speculative epoch
+/// resumes from the exact accelerator its predecessor would hand over.
+#[derive(Clone)]
 pub struct Fade {
     config: FadeConfig,
     pub(crate) program: FadeProgram,
@@ -626,10 +683,13 @@ impl Fade {
                 AppEvent::Instr(iev) => self.batch_instr(iev, st, &mut out, &mut consumer),
                 other => {
                     out.fallback += 1;
+                    let mark = out.dispatched;
                     self.event_q
                         .push(*other)
                         .expect("event queue is drained between batch events");
                     self.settle_batch(st, &mut out, &mut consumer);
+                    let d = out.dispatched - mark;
+                    out.occ_event(d);
                 }
             }
         }
@@ -640,7 +700,26 @@ impl Fade {
     /// pipeline, fast-path when its metadata structures are warm) when
     /// the decoded plan allows it, tier B (the full pipeline stages
     /// without queue churn) for multi-shot chains and unknown events.
+    /// Also advances the occupancy integral by the event's dispatch
+    /// count — every scalar instruction path (plain batches and the
+    /// vectorized kernel's scalar lanes) funnels through here, which is
+    /// what keeps the integral identical across kernels.
     pub(crate) fn batch_instr<F>(
+        &mut self,
+        ev: &InstrEvent,
+        st: &mut MetadataState,
+        out: &mut BatchStats,
+        consumer: &mut F,
+    ) where
+        F: FnMut(UnfilteredEvent, &mut MetadataState),
+    {
+        let mark = out.dispatched;
+        self.batch_instr_exec(ev, st, out, consumer);
+        let d = out.dispatched - mark;
+        out.occ_event(d);
+    }
+
+    fn batch_instr_exec<F>(
         &mut self,
         ev: &InstrEvent,
         st: &mut MetadataState,

@@ -316,10 +316,13 @@ impl Fade {
                 other => {
                     out.events += 1;
                     out.fallback += 1;
+                    let mark = out.dispatched;
                     self.event_q
                         .push(*other)
                         .expect("event queue is drained between batch events");
                     self.settle_batch(st, &mut out, &mut consumer);
+                    let d = out.dispatched - mark;
+                    out.occ_event(d);
                     i += 1;
                 }
             }
@@ -847,6 +850,7 @@ impl Fade {
         }
         let p64 = p as u64;
         out.fast_path += p64;
+        out.occ_filtered_run(p64);
         self.stats.instr_events += p64;
         self.stats.shots += p64;
         self.stats.busy_cycles += p64;

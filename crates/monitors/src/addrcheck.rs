@@ -28,7 +28,7 @@ const INV_ALLOCATED: InvId = InvId::new(0);
 const HANDLER_ACCESS: HandlerPc = HandlerPc::new(0xac00_0000);
 
 /// The AddrCheck monitor.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct AddrCheck {
     reports: Vec<String>,
 }
@@ -43,6 +43,10 @@ impl AddrCheck {
 impl Monitor for AddrCheck {
     fn name(&self) -> &'static str {
         "AddrCheck"
+    }
+
+    fn fork(&self) -> Option<Box<dyn Monitor>> {
+        Some(Box::new(self.clone()))
     }
 
     fn kind(&self) -> MonitorKind {

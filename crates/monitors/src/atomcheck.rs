@@ -41,7 +41,7 @@ pub fn signature(tid: u8) -> u8 {
 }
 
 /// The AtomCheck monitor.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AtomCheck {
     cur_tid: u8,
     reports: Vec<String>,
@@ -80,6 +80,10 @@ impl Default for AtomCheck {
 impl Monitor for AtomCheck {
     fn name(&self) -> &'static str {
         "AtomCheck"
+    }
+
+    fn fork(&self) -> Option<Box<dyn Monitor>> {
+        Some(Box::new(self.clone()))
     }
 
     fn kind(&self) -> MonitorKind {

@@ -36,7 +36,7 @@ const INV_RET: InvId = InvId::new(2);
 const HANDLER: HandlerPc = HandlerPc::new(0x3c00_0000);
 
 /// The MemCheck monitor.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct MemCheck {
     reports: Vec<String>,
 }
@@ -133,6 +133,10 @@ impl MemCheck {
 impl Monitor for MemCheck {
     fn name(&self) -> &'static str {
         "MemCheck"
+    }
+
+    fn fork(&self) -> Option<Box<dyn Monitor>> {
+        Some(Box::new(self.clone()))
     }
 
     fn kind(&self) -> MonitorKind {

@@ -48,7 +48,7 @@ struct Context {
 }
 
 /// The MemLeak monitor.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct MemLeak {
     reports: Vec<String>,
     contexts: HashMap<u32, Context>,
@@ -139,6 +139,10 @@ impl MemLeak {
 impl Monitor for MemLeak {
     fn name(&self) -> &'static str {
         "MemLeak"
+    }
+
+    fn fork(&self) -> Option<Box<dyn Monitor>> {
+        Some(Box::new(self.clone()))
     }
 
     fn kind(&self) -> MonitorKind {

@@ -135,6 +135,18 @@ pub trait Monitor: Send {
         Vec::new()
     }
 
+    /// An independent copy of this monitor with all its internal
+    /// bookkeeping (allocation tables, lock sets, reports) — the
+    /// checkpointing hook behind epoch-parallel replay, which snapshots
+    /// the monitor alongside the metadata state at epoch boundaries.
+    ///
+    /// The default returns `None`, meaning the monitor cannot be
+    /// checkpointed; sessions for such monitors fall back to sequential
+    /// replay. All built-in monitors fork via `Clone`.
+    fn fork(&self) -> Option<Box<dyn Monitor>> {
+        None
+    }
+
     /// Software cost of a stack update over `ev.len` bytes.
     fn stack_cost(&self, ev: &StackUpdateEvent) -> u32 {
         let c = self.costs();

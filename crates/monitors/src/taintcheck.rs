@@ -30,7 +30,7 @@ const INV_UNTAINTED: InvId = InvId::new(0);
 const HANDLER_PROP: HandlerPc = HandlerPc::new(0x7a00_0000);
 
 /// The TaintCheck monitor.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TaintCheck {
     reports: Vec<String>,
 }
@@ -54,6 +54,10 @@ impl TaintCheck {
 impl Monitor for TaintCheck {
     fn name(&self) -> &'static str {
         "TaintCheck"
+    }
+
+    fn fork(&self) -> Option<Box<dyn Monitor>> {
+        Some(Box::new(self.clone()))
     }
 
     fn kind(&self) -> MonitorKind {

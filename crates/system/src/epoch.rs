@@ -1,0 +1,346 @@
+//! Epoch-parallel speculative replay of a single trace.
+//!
+//! A recorded (or pre-generated) trace is split into contiguous
+//! *epochs* at `.fadet` chunk boundaries. A cheap sequential predictor
+//! pass — `MonitoringSystem::run_functional_slice`, the accelerator's
+//! batched fast path with no timing machinery — walks the whole trace
+//! once and snapshots a `SystemCheckpoint` at every epoch entry.
+//! Each epoch then runs the *real* engine speculatively from its
+//! predicted entry checkpoint, in parallel on the worker pool
+//! ([`crate::pool::run_indexed`]).
+//!
+//! The join is validate-and-merge, sequential in epoch order: an
+//! epoch's speculative result commits iff its entry digest equals the
+//! committed predecessor's exit digest (epoch 0 validates against the
+//! initial state). A mismatch — a *misprediction* — discards the
+//! speculative result and re-runs the epoch from the committed
+//! predecessor's exit checkpoint, which by induction is exact. Since
+//! monitor-visible results are engine-invariant (bit-exact across
+//! cycle/batched/vectorized execution and chunk boundaries), the
+//! predictor is functionally exact and mispredictions only arise from
+//! induced faults (the forced-staleness test hook) — but the join
+//! never *assumes* that: every commit is digest-checked, so the merged
+//! result is sequentially equivalent by construction.
+//!
+//! Determinism: the epoch partition derives from the trace and
+//! configuration only, each epoch's commit process is reseeded from
+//! `(config seed, epoch index)`, and the join commits in epoch order —
+//! so results are bit-identical for any worker count, including 1.
+//!
+//! With a single worker (or a single epoch) speculation cannot win, so
+//! the scheduler degenerates to an epoch *chain*: each epoch runs from
+//! its committed predecessor's exit — the join's re-run path applied
+//! everywhere — skipping the predictor pass and every digest walk.
+//! That keeps single-worker overhead to the per-epoch engine rebuild
+//! while still producing the same per-epoch results (and stats) as the
+//! speculative path at any other worker count.
+
+use std::sync::Arc;
+
+use fade::BatchStats;
+use fade_trace::{BenchProfile, TraceRecord};
+
+use crate::config::SystemConfig;
+use crate::pool::run_indexed;
+use crate::system::{ExecMode, MonitoringSystem, SpanReplay, SystemCheckpoint};
+
+/// Epochs a trace is split into (fewer when it has fewer chunks). The
+/// count is a function of the trace alone — never of the worker count —
+/// so replay results cannot depend on parallelism.
+pub(crate) const DEFAULT_EPOCHS: usize = 8;
+
+/// Instructions requested per engine call while driving an epoch (or a
+/// sequential replay) to exhaustion.
+pub(crate) const DRIVE_CHUNK: u64 = 200_000;
+
+/// What the epoch scheduler did during a parallel replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Epochs the trace was split into (0 on the sequential path).
+    pub epochs: u64,
+    /// Speculative epoch results whose entry digest matched the
+    /// committed predecessor's exit digest and were merged as-is.
+    pub validated: u64,
+    /// Mispredicted epochs discarded and re-run from the committed
+    /// predecessor's exit state.
+    pub rerun: u64,
+}
+
+/// The partition and knobs [`SessionBuilder::parallel_replay`]
+/// materialized at build time.
+///
+/// [`SessionBuilder::parallel_replay`]: crate::SessionBuilder::parallel_replay
+pub(crate) struct EpochPlan {
+    /// Worker threads for the speculative phase (≥ 1; 1 takes the
+    /// non-speculative epoch-chain path).
+    pub(crate) workers: usize,
+    /// The full decoded trace, shared zero-copy with every epoch.
+    pub(crate) records: Arc<Vec<TraceRecord>>,
+    /// End-exclusive record index of each `.fadet` chunk, cumulative —
+    /// the only legal epoch split points.
+    pub(crate) bounds: Vec<usize>,
+    /// Test hook: poison this epoch's predicted entry checkpoint so the
+    /// join must detect the stale state and re-run.
+    pub(crate) stale_epoch: Option<usize>,
+}
+
+/// One epoch's speculative (or re-run, or chained) result.
+struct EpochOutcome {
+    exit: SystemCheckpoint,
+    instrs: u64,
+    cycles_est: u64,
+    batch: BatchStats,
+}
+
+/// A committed parallel replay, merged across epochs in order.
+pub(crate) struct MergedReplay {
+    pub(crate) exit: SystemCheckpoint,
+    pub(crate) instrs: u64,
+    pub(crate) cycles_est: u64,
+    pub(crate) batch: BatchStats,
+    pub(crate) stats: EpochStats,
+}
+
+/// Partitions `bounds.len()` chunks into at most `max_epochs`
+/// contiguous record spans, balanced by chunk count (the same
+/// arithmetic as [`fade_trace::ChunkIndex::split_epochs`], so a file
+/// and its decoded records split identically).
+pub(crate) fn split_spans(
+    bounds: &[usize],
+    total: usize,
+    max_epochs: usize,
+) -> Vec<(usize, usize)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let n = bounds.len();
+    if n == 0 {
+        return vec![(0, total)];
+    }
+    let epochs = max_epochs.max(1).min(n);
+    let mut spans = Vec::with_capacity(epochs);
+    let mut start = 0usize;
+    for e in 0..epochs {
+        let end_chunk = ((e + 1) * n) / epochs;
+        let end = bounds[end_chunk - 1].min(total);
+        if end > start {
+            spans.push((start, end));
+            start = end;
+        }
+    }
+    if start < total {
+        spans.push((start, total));
+    }
+    spans
+}
+
+/// Runs one epoch's span with the real engine from `cp`.
+fn run_epoch(
+    bench: &BenchProfile,
+    cfg: &SystemConfig,
+    mode: ExecMode,
+    cp: SystemCheckpoint,
+    records: &Arc<Vec<TraceRecord>>,
+    span: (usize, usize),
+    epoch: u64,
+) -> EpochOutcome {
+    let source = Box::new(SpanReplay::new(Arc::clone(records), span));
+    let mut sys = MonitoringSystem::from_checkpoint(bench, cfg, cp, source, epoch);
+    while !sys.source_exhausted() && sys.source_error().is_none() {
+        match mode {
+            ExecMode::Cycle => sys.run_instrs(DRIVE_CHUNK),
+            ExecMode::Batched => sys.run_batched(DRIVE_CHUNK),
+        }
+    }
+    sys.drain();
+    EpochOutcome {
+        instrs: sys.instrs(),
+        cycles_est: sys.estimated_total_cycles(),
+        batch: sys.batch_stats(),
+        exit: sys.into_checkpoint(),
+    }
+}
+
+/// The full predict → speculate → validate-and-merge pipeline.
+///
+/// `predictor` is the session's own system (it owns the initial state
+/// and the monitor); the functional pass consumes it, so the caller
+/// must report results from the returned [`MergedReplay`], not from
+/// the system.
+pub(crate) fn replay_parallel(
+    predictor: &mut MonitoringSystem,
+    bench: &BenchProfile,
+    cfg: &SystemConfig,
+    mode: ExecMode,
+    plan: &EpochPlan,
+) -> MergedReplay {
+    let spans = split_spans(&plan.bounds, plan.records.len(), DEFAULT_EPOCHS);
+    let initial = predictor
+        .checkpoint()
+        .expect("parallel replay requires a forkable monitor (checked at plan time)");
+    if spans.is_empty() {
+        return MergedReplay {
+            exit: initial,
+            instrs: 0,
+            cycles_est: 0,
+            batch: BatchStats::default(),
+            stats: EpochStats { epochs: 0, validated: 0, rerun: 0 },
+        };
+    }
+
+    // ---- Degenerate parallelism: with one worker (or one epoch)
+    // speculation buys nothing, so run the epoch chain directly — each
+    // epoch from its committed predecessor's exit. This is exactly the
+    // join's re-run path ("every prediction misses"), which the
+    // forced-misprediction regression proves bit-identical to a
+    // validated speculative epoch, with the predictor pass and every
+    // digest walk elided: entry states *are* predecessor exits by
+    // construction, so each epoch counts as validated and the merged
+    // result is the same as at any other worker count. This is what
+    // keeps the single-worker overhead vs. plain sequential replay to
+    // the per-epoch engine rebuild alone.
+    if plan.workers == 1 || spans.len() == 1 {
+        // The chain never mispredicts (there are no predictions), so
+        // the staleness hook has nothing to poison and every epoch
+        // counts as validated — matching the speculative path's stats.
+        let stats = EpochStats {
+            epochs: spans.len() as u64,
+            validated: spans.len() as u64,
+            rerun: 0,
+        };
+        let mut prev = initial;
+        let mut instrs = 0u64;
+        let mut cycles_est = 0u64;
+        let mut batch = BatchStats::default();
+        for (i, &span) in spans.iter().enumerate() {
+            let outcome = run_epoch(bench, cfg, mode, prev, &plan.records, span, i as u64);
+            instrs += outcome.instrs;
+            cycles_est += outcome.cycles_est;
+            batch.merge(&outcome.batch);
+            prev = outcome.exit;
+        }
+        return MergedReplay { exit: prev, instrs, cycles_est, batch, stats };
+    }
+
+    // ---- Predict: one cheap functional pass over the whole trace,
+    // snapshotting the entry state of every epoch. ----
+    let mut entries = Vec::with_capacity(spans.len());
+    for (i, &(a, b)) in spans.iter().enumerate() {
+        entries.push(if i == 0 {
+            initial.replicate()
+        } else {
+            predictor
+                .checkpoint()
+                .expect("forkability cannot change mid-run")
+        });
+        if i + 1 < spans.len() {
+            predictor.run_functional_slice(&plan.records[a..b]);
+        }
+    }
+    if let Some(e) = plan.stale_epoch {
+        if let Some(entry) = entries.get_mut(e) {
+            // Flip one shadow byte: a minimal stale prediction. The
+            // digest mismatch must force a re-run; the re-run starts
+            // from the committed predecessor, so the final result is
+            // still exact.
+            let addr = fade_isa::VirtAddr::new(0x6000_0000);
+            let cur = entry.state.mem_meta(addr);
+            entry.state.set_mem_meta(addr, cur ^ 0x5a);
+        }
+    }
+
+    // ---- Speculate: every epoch runs the real engine in parallel
+    // from its predicted entry checkpoint, digesting that checkpoint
+    // on the worker before it runs (entry digests parallelize for
+    // free). Checkpoints are handed out through take-once slots
+    // (Box<dyn Monitor> is Send, not Sync). ----
+    let slots: Vec<std::sync::Mutex<Option<SystemCheckpoint>>> = entries
+        .into_iter()
+        .map(|cp| std::sync::Mutex::new(Some(cp)))
+        .collect();
+    let outcomes = run_indexed(plan.workers, spans.len(), |i| {
+        let cp = slots[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("each epoch claims its checkpoint once");
+        let entry_digest = cp.digest();
+        let outcome = run_epoch(bench, cfg, mode, cp, &plan.records, spans[i], i as u64);
+        let exit_digest = outcome.exit.digest();
+        (entry_digest, exit_digest, outcome)
+    });
+
+    // ---- Validate and merge, sequential in epoch order. ----
+    let mut stats = EpochStats {
+        epochs: spans.len() as u64,
+        validated: 0,
+        rerun: 0,
+    };
+    let initial_digest = initial.digest();
+    let mut prev_exit = initial;
+    let mut prev_digest = initial_digest;
+    let mut instrs = 0u64;
+    let mut cycles_est = 0u64;
+    let mut batch = BatchStats::default();
+    for (i, (entry_digest, exit_digest, speculative)) in outcomes.into_iter().enumerate() {
+        let (outcome, outcome_digest) = if entry_digest == prev_digest {
+            stats.validated += 1;
+            (speculative, exit_digest)
+        } else {
+            stats.rerun += 1;
+            let rerun = run_epoch(
+                bench,
+                cfg,
+                mode,
+                prev_exit.replicate(),
+                &plan.records,
+                spans[i],
+                i as u64,
+            );
+            let d = rerun.exit.digest();
+            (rerun, d)
+        };
+        instrs += outcome.instrs;
+        cycles_est += outcome.cycles_est;
+        batch.merge(&outcome.batch);
+        prev_digest = outcome_digest;
+        prev_exit = outcome.exit;
+    }
+    MergedReplay {
+        exit: prev_exit,
+        instrs,
+        cycles_est,
+        batch,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_spans;
+
+    #[test]
+    fn spans_are_contiguous_and_cover_the_trace() {
+        let bounds = [10, 25, 30, 47, 60, 61, 80, 95, 100];
+        for epochs in 1..=12 {
+            let spans = split_spans(&bounds, 100, epochs);
+            assert!(spans.len() <= epochs.min(bounds.len()));
+            assert_eq!(spans.first().unwrap().0, 0);
+            assert_eq!(spans.last().unwrap().1, 100);
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "gap between spans");
+            }
+            // Every split point is a chunk boundary.
+            for &(_, end) in &spans[..spans.len() - 1] {
+                assert!(bounds.contains(&end), "{end} is not a chunk boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_partitions() {
+        assert!(split_spans(&[], 0, 4).is_empty());
+        assert_eq!(split_spans(&[], 7, 4), vec![(0, 7)]);
+        assert_eq!(split_spans(&[7], 7, 4), vec![(0, 7)]);
+    }
+}

@@ -410,8 +410,8 @@ impl SystemThroughputReport {
 /// be driven over exactly this prefix). This is the capture half of
 /// record/replay: write the records to a `.fadet` file with
 /// [`fade_trace::write_trace_file`] and any later run can replay them
-/// through [`measure_system_throughput_records`] or
-/// [`MonitoringSystem::from_records`] without a generator.
+/// through [`measure_system_throughput_records`] or a
+/// record-buffer [`crate::Session`] without a generator.
 ///
 /// # Panics
 ///
@@ -573,6 +573,107 @@ pub fn measure_system_throughput_records(
         rel_half_width: batched_sys.rel_half_width(),
         carried_seed_cycles: batched_sys.carried_seed_cycles(),
         strata: batched_sys.sampling_strata(),
+    }
+}
+
+/// Measured serial-vs-parallel whole-trace replay of one (benchmark,
+/// monitor) point ([`measure_parallel_replay`]).
+#[derive(Clone, Debug)]
+pub struct ParallelReplayReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Monitor name.
+    pub monitor: String,
+    /// Worker threads of the parallel replay.
+    pub workers: usize,
+    /// Monitored events in the replayed trace.
+    pub events: u64,
+    /// Application instructions in the replayed trace.
+    pub instrs: u64,
+    /// Wall-clock seconds of the sequential replay.
+    pub serial_s: f64,
+    /// Wall-clock seconds of the epoch-parallel replay.
+    pub parallel_s: f64,
+    /// What the epoch scheduler did during the parallel replay.
+    pub epochs: crate::epoch::EpochStats,
+}
+
+impl ParallelReplayReport {
+    /// Serial-over-parallel wall-clock speedup (>1 is a win).
+    pub fn speedup(&self) -> f64 {
+        self.serial_s / self.parallel_s.max(1e-12)
+    }
+}
+
+/// Replays the same `n_events`-event trace prefix twice through the
+/// batched engine — once sequentially, once as speculative parallel
+/// epochs on `workers` threads ([`crate::SessionBuilder::parallel_replay`])
+/// — and compares wall-clock time. Every measurement doubles as a
+/// differential check: both replays must finish with identical
+/// monitor-visible results.
+///
+/// # Panics
+///
+/// Panics if the monitor is unknown or the two replays diverge in any
+/// monitor-visible result (which would be an epoch-join bug).
+pub fn measure_parallel_replay(
+    bench: &BenchProfile,
+    monitor_name: &str,
+    cfg: &SystemConfig,
+    n_events: u64,
+    workers: usize,
+) -> ParallelReplayReport {
+    let probe = monitor_by_name(monitor_name)
+        .unwrap_or_else(|| panic!("unknown monitor {monitor_name}"));
+    let (records, _instrs) = record_prefix(bench, probe.as_ref(), cfg.seed, n_events);
+    let session = |parallel: usize| {
+        let mut b = crate::Session::builder()
+            .monitor(monitor_name)
+            .source((bench.clone(), records.clone()))
+            .engine(crate::Engine::batched())
+            .config(*cfg);
+        if parallel > 0 {
+            b = b.parallel_replay(parallel);
+        }
+        b.build()
+            .unwrap_or_else(|e| panic!("replay session for {monitor_name} on {}: {e}", bench.name))
+    };
+    let serial = session(0).replay_all().expect("sequential replay");
+    let parallel = session(workers).replay_all().expect("parallel replay");
+    assert_eq!(
+        serial.instrs, parallel.instrs,
+        "parallel replay retired different instructions for {monitor_name} on {}",
+        bench.name
+    );
+    assert_eq!(
+        serial.events_seen, parallel.events_seen,
+        "parallel replay consumed a different event stream for {monitor_name} on {}",
+        bench.name
+    );
+    assert!(
+        serial.final_state == parallel.final_state,
+        "parallel replay metadata state diverged for {monitor_name} on {}",
+        bench.name
+    );
+    assert_eq!(
+        serial.violations, parallel.violations,
+        "parallel replay violation reports diverged for {monitor_name} on {}",
+        bench.name
+    );
+    assert_eq!(
+        serial.functional_counters, parallel.functional_counters,
+        "parallel replay functional counters diverged for {monitor_name} on {}",
+        bench.name
+    );
+    ParallelReplayReport {
+        benchmark: bench.name.to_string(),
+        monitor: monitor_name.to_string(),
+        workers,
+        events: serial.events_seen,
+        instrs: serial.instrs,
+        serial_s: serial.wall_s,
+        parallel_s: parallel.wall_s,
+        epochs: parallel.epochs,
     }
 }
 

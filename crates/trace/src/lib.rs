@@ -54,7 +54,8 @@ pub use bench::{by_name, parallel_suite, spec_int_suite, taint_suite};
 pub use faultinject::{FaultKind, FaultPlan, FaultyReader};
 pub use file::{
     decode_trace, decode_trace_recovering, encode_trace, read_trace_file, write_trace_file,
-    DegradationReport, SkippedChunk, TraceFileError, TraceMeta, TraceReader, TraceWriter,
+    ChunkIndex, ChunkIndexEntry, DegradationReport, EpochSpan, SkippedChunk, TraceFileError,
+    TraceMeta, TraceReader, TraceWriter,
 };
 pub use heap::HeapModel;
 pub use profile::{BenchProfile, InstrMix};

@@ -52,12 +52,11 @@ pub mod prelude {
     pub use fade_isa::{AppEvent, AppInstr, InstrClass, Reg, VirtAddr};
     pub use fade_monitors::{monitor_by_name, Monitor};
     pub use fade_shadow::MetadataState;
-    #[allow(deprecated)]
-    pub use fade_system::{run_experiment, run_experiment_mode};
     pub use fade_system::{
-        measure_system_throughput, measure_trace_codec, record_trace_prefix, Engine, ExecMode,
-        MonitorRegistry, MonitoringSystem, ReplayBuffer, RunReport, RunStats, Session,
-        SessionBuilder, SessionError, SessionRunError, SourceError, SystemConfig, TraceSource,
+        measure_system_throughput, measure_trace_codec, record_trace_prefix, Engine, EpochStats,
+        ExecMode, MonitorRegistry, MonitoringSystem, ReplayBuffer, ReplayReport, RunReport,
+        RunStats, Session, SessionBuilder, SessionError, SessionRunError, SourceError,
+        SystemConfig, TraceSource,
     };
     pub use fade_trace::{
         bench, read_trace_file, write_trace_file, BenchProfile, DegradationReport, FaultKind,

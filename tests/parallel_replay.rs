@@ -1,0 +1,259 @@
+//! Parallel-replay differential harness: epoch-parallel speculative
+//! replay ([`SessionBuilder::parallel_replay`] + [`Session::replay_all`])
+//! must be bit-exact with sequential replay in everything a monitor can
+//! observe — for every monitor × benchmark pair and worker counts
+//! {1, 2, 4} — and bit-*identical* across worker counts (the epoch
+//! partition derives from the trace, never from parallelism).
+//!
+//! The forced-misprediction regression closes the loop: a deliberately
+//! stale entry checkpoint must be caught by the validate-and-merge join
+//! and re-run, still yielding the exact sequential result.
+
+use fade_repro::monitors::all_monitors;
+use fade_repro::prelude::*;
+use fade_repro::trace::{bench, TraceMeta, TraceRecord};
+
+mod common;
+use common::{assert_monitor_visible_equal, suite_for};
+
+/// Instructions per (monitor, benchmark) point: small traces, since the
+/// sweep covers every pair four ways (serial + three worker counts).
+const SWEEP_INSTRS: u64 = 12_000;
+
+/// A sampling configuration small enough that every epoch crosses
+/// several batch→cycle→batch transitions.
+fn cfg() -> SystemConfig {
+    SystemConfig::fade_single_core()
+        .with_sample_period(1024)
+        .with_sample_window(256)
+}
+
+/// The trace prefix holding the first `n_instrs` instruction records
+/// (the generator is deterministic per seed).
+fn record_prefix(b: &BenchProfile, seed: u64, n_instrs: u64) -> Vec<TraceRecord> {
+    let mut prog = SyntheticProgram::new(b, seed);
+    let mut records = Vec::new();
+    let mut instrs = 0u64;
+    while instrs < n_instrs {
+        let r = prog.next_record();
+        if matches!(r, TraceRecord::Instr(_)) {
+            instrs += 1;
+        }
+        records.push(r);
+    }
+    records
+}
+
+/// Replays the whole record buffer: sequentially (`workers == 0`) or as
+/// parallel epochs, optionally with one poisoned entry checkpoint.
+fn replay(
+    b: &BenchProfile,
+    monitor: &str,
+    records: Vec<TraceRecord>,
+    workers: usize,
+    stale: Option<usize>,
+) -> ReplayReport {
+    let mut builder = Session::builder()
+        .monitor(monitor)
+        .source((b.clone(), records))
+        .engine(Engine::batched())
+        .config(cfg());
+    if workers > 0 {
+        builder = builder.parallel_replay(workers);
+    }
+    if let Some(e) = stale {
+        builder = builder.inject_stale_epoch(e);
+    }
+    builder
+        .build()
+        .unwrap_or_else(|e| panic!("{monitor}/{}: build failed: {e}", b.name))
+        .replay_all()
+        .unwrap_or_else(|e| panic!("{monitor}/{}: replay failed: {e}", b.name))
+}
+
+/// For every monitor and every benchmark of its suite: replay the same
+/// trace sequentially and at workers {1, 2, 4}. Every parallel result
+/// must be monitor-visibly bit-exact with the sequential one, fully
+/// speculation-validated (the predictor is functionally exact), and
+/// bit-identical — *including* cycle estimates and epoch stats — across
+/// worker counts.
+#[test]
+fn parallel_replay_is_bit_exact_for_every_monitor_and_suite() {
+    for monitor in all_monitors() {
+        let name = monitor.name();
+        for b in suite_for(name) {
+            let records = record_prefix(&b, cfg().seed, SWEEP_INSTRS);
+            let serial = replay(&b, name, records.clone(), 0, None);
+            assert_eq!(serial.epochs.epochs, 0, "{name}/{}: serial ran epochs", b.name);
+
+            let mut baseline: Option<ReplayReport> = None;
+            for workers in [1usize, 2, 4] {
+                let par = replay(&b, name, records.clone(), workers, None);
+                assert_monitor_visible_equal(
+                    &serial,
+                    &par,
+                    &format!("{name}/{} workers={workers}", b.name),
+                );
+                assert!(
+                    par.epochs.epochs > 1,
+                    "{name}/{}: trace did not split into epochs",
+                    b.name
+                );
+                assert_eq!(
+                    par.epochs.validated, par.epochs.epochs,
+                    "{name}/{}: clean speculation failed validation",
+                    b.name
+                );
+                assert_eq!(par.epochs.rerun, 0, "{name}/{}: spurious re-run", b.name);
+                match &baseline {
+                    None => baseline = Some(par),
+                    Some(base) => {
+                        // Full bit-identity across worker counts: even
+                        // the timing estimate and the batch statistics
+                        // may depend only on the trace and the epoch
+                        // partition, never on the worker count.
+                        assert_monitor_visible_equal(
+                            base,
+                            &par,
+                            &format!("{name}/{} workers=1 vs {workers}", b.name),
+                        );
+                        assert_eq!(
+                            base.estimated_cycles, par.estimated_cycles,
+                            "{name}/{}: cycle estimate depends on worker count",
+                            b.name
+                        );
+                        assert_eq!(
+                            base.batch, par.batch,
+                            "{name}/{}: batch stats depend on worker count",
+                            b.name
+                        );
+                        assert_eq!(
+                            base.epochs, par.epochs,
+                            "{name}/{}: epoch stats depend on worker count",
+                            b.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A deliberately stale entry checkpoint (the builder's hidden
+/// `inject_stale_epoch` hook flips one shadow byte in epoch 1's
+/// predicted entry state) must be detected by the join's digest
+/// validation and re-run from the committed predecessor — and the
+/// final result must still be bit-exact with the sequential replay.
+#[test]
+fn forced_misprediction_is_detected_and_rerun() {
+    let b = bench::by_name("gcc").unwrap();
+    let records = record_prefix(&b, cfg().seed, SWEEP_INSTRS);
+    let serial = replay(&b, "MemCheck", records.clone(), 0, None);
+
+    let stale = replay(&b, "MemCheck", records.clone(), 4, Some(1));
+    assert!(
+        stale.epochs.rerun >= 1,
+        "poisoned checkpoint was not detected: {:?}",
+        stale.epochs
+    );
+    assert!(
+        stale.epochs.validated < stale.epochs.epochs,
+        "every epoch validated despite the poisoned checkpoint"
+    );
+    assert_monitor_visible_equal(&serial, &stale, "MemCheck/gcc forced misprediction");
+
+    // The recovery must also be bit-identical to an unpoisoned parallel
+    // replay in everything monitor-visible *and* in timing (the re-run
+    // epoch uses the same per-epoch commit seed).
+    let clean = replay(&b, "MemCheck", records, 4, None);
+    assert_monitor_visible_equal(&clean, &stale, "MemCheck/gcc recovery vs clean");
+    assert_eq!(clean.estimated_cycles, stale.estimated_cycles, "recovery timing");
+    assert_eq!(clean.batch, stale.batch, "recovery batch stats");
+}
+
+/// Parallel replay straight from a `.fadet` file on disk: the epoch
+/// split comes from the file's own chunk-offset index (the v2 trailer),
+/// and the result must match the sequential streamed replay of the same
+/// file.
+#[test]
+fn trace_file_parallel_replay_uses_chunk_index() {
+    let b = bench::by_name("mcf").unwrap();
+    let records = record_prefix(&b, cfg().seed, SWEEP_INSTRS);
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("parallel_replay.fadet");
+    fade_repro::trace::write_trace_file(&path, &TraceMeta::new("mcf", cfg().seed), &records)
+        .unwrap();
+
+    let serial = Session::builder()
+        .monitor("AddrCheck")
+        .source(path.as_path())
+        .engine(Engine::batched())
+        .config(cfg())
+        .build()
+        .unwrap()
+        .replay_all()
+        .unwrap();
+    let parallel = Session::builder()
+        .monitor("AddrCheck")
+        .source(path.as_path())
+        .engine(Engine::batched())
+        .config(cfg())
+        .parallel_replay(4)
+        .build()
+        .unwrap()
+        .replay_all()
+        .unwrap();
+    assert!(parallel.epochs.epochs > 1, "file did not split into epochs");
+    assert_eq!(parallel.epochs.rerun, 0);
+    assert_monitor_visible_equal(&serial, &parallel, "AddrCheck/mcf file parallel replay");
+}
+
+/// The cycle-accurate engine can also replay in parallel epochs:
+/// monitor-visible results stay bit-exact with its sequential replay
+/// (cycle totals are per-epoch realizations and legitimately differ
+/// from one continuous sequential realization).
+#[test]
+fn cycle_engine_parallel_replay_is_monitor_visibly_exact() {
+    let b = bench::by_name("mcf").unwrap();
+    let records = record_prefix(&b, cfg().seed, 8_000);
+    let run = |workers: usize| {
+        let mut builder = Session::builder()
+            .monitor("AddrCheck")
+            .source((b.clone(), records.clone()))
+            .engine(Engine::Cycle)
+            .config(cfg());
+        if workers > 0 {
+            builder = builder.parallel_replay(workers);
+        }
+        builder.build().unwrap().replay_all().unwrap()
+    };
+    let serial = run(0);
+    let parallel = run(2);
+    assert!(parallel.epochs.epochs > 1);
+    assert_monitor_visible_equal(&serial, &parallel, "AddrCheck/mcf cycle-engine parallel");
+}
+
+/// Sessions that cannot speculate (no accelerator to run the predictor
+/// on) silently fall back to sequential replay with identical results.
+#[test]
+fn unaccelerated_sessions_fall_back_to_sequential() {
+    let b = bench::by_name("mcf").unwrap();
+    let records = record_prefix(&b, cfg().seed, 8_000);
+    let run = |parallel: bool| {
+        let mut builder = Session::builder()
+            .monitor("MemLeak")
+            .source((b.clone(), records.clone()))
+            .engine(Engine::Unaccelerated)
+            .config(cfg());
+        if parallel {
+            builder = builder.parallel_replay(4);
+        }
+        builder.build().unwrap().replay_all().unwrap()
+    };
+    let plain = run(false);
+    let asked = run(true);
+    assert_eq!(asked.epochs.epochs, 0, "unaccelerated session speculated");
+    assert_monitor_visible_equal(&plain, &asked, "MemLeak/mcf unaccelerated fallback");
+    assert_eq!(plain.estimated_cycles, asked.estimated_cycles);
+}
